@@ -1,0 +1,92 @@
+// Command irrun executes a textual IR program in the interpreter and
+// reports dynamic statistics; with -profile it also prints the edge
+// execution counts the placement algorithms consume.
+//
+// Usage:
+//
+//	irrun [-arg N] [-profile] [-check] prog.ir
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	"repro/internal/ir"
+	"repro/internal/irtext"
+	"repro/internal/machine"
+	"repro/internal/vm"
+)
+
+func main() {
+	arg := flag.Int64("arg", 0, "argument passed to main")
+	prof := flag.Bool("profile", false, "print per-edge execution counts")
+	check := flag.Bool("check", false, "enforce the callee-saved register convention")
+	flag.Parse()
+
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: irrun [flags] prog.ir")
+		os.Exit(2)
+	}
+	src, err := os.ReadFile(flag.Arg(0))
+	if err != nil {
+		fatal(err)
+	}
+	prog, err := irtext.Parse(string(src))
+	if err != nil {
+		fatal(err)
+	}
+
+	cfg := vm.Config{CollectEdges: *prof}
+	if *check {
+		cfg.Machine = machine.PARISC()
+	}
+	m := vm.New(prog, cfg)
+	var args []int64
+	if f := prog.Func(prog.Main); f != nil && len(f.Params) > 0 {
+		args = append(args, *arg)
+	}
+	val, err := m.Run(args...)
+	if err != nil {
+		fatal(err)
+	}
+
+	st := m.Stats
+	fmt.Printf("result: %d\n", val)
+	fmt.Printf("instructions: %d  loads: %d  stores: %d\n", st.Instrs, st.Loads, st.Stores)
+	fmt.Printf("overhead: %d (spill ld/st %d/%d, save/restore %d/%d, jump-block jumps %d)\n",
+		st.Overhead(), st.SpillLoads, st.SpillStores, st.Saves, st.Restores, st.JumpBlockJmps)
+
+	names := make([]string, 0, len(st.Calls))
+	for n := range st.Calls {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		fmt.Printf("calls %-12s %d\n", n, st.Calls[n])
+	}
+
+	if *prof {
+		for _, f := range prog.FuncsInOrder() {
+			fmt.Printf("\nfunc %s:\n", f.Name)
+			for _, b := range f.Blocks {
+				for _, e := range b.Succs {
+					fmt.Printf("  %s -> %s  %d (%v)\n", e.From.Name, e.To.Name, m.EdgeCount[e], kindName(e))
+				}
+			}
+		}
+	}
+}
+
+func kindName(e *ir.Edge) string {
+	if e.Kind == ir.Jump {
+		return "jump"
+	}
+	return "fall"
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "irrun: %v\n", err)
+	os.Exit(1)
+}

@@ -1,0 +1,77 @@
+// Command spillbench reproduces the paper's evaluation: it runs the
+// full pipeline (generate, profile, allocate, place, execute) over the
+// synthetic SPEC CPU2000 integer workloads and prints Figure 5 and
+// Tables 1-2.
+//
+// Usage:
+//
+//	spillbench              # everything
+//	spillbench -figure 5    # just the Figure 5 data
+//	spillbench -table 1     # just Table 1 ratios
+//	spillbench -table 2     # just Table 2 placement times
+//	spillbench -bench gcc   # a single benchmark, detailed
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/bench"
+	"repro/internal/workload"
+)
+
+func main() {
+	figure := flag.Int("figure", 0, "print only this figure (5)")
+	table := flag.Int("table", 0, "print only this table (1 or 2)")
+	only := flag.String("bench", "", "run a single benchmark")
+	align := flag.Bool("align", false, "run jump alignment before placement (extension)")
+	flag.Parse()
+
+	suite := workload.SPECInt2000()
+	if *only != "" {
+		var filtered []workload.BenchParams
+		for _, p := range suite {
+			if p.Name == *only {
+				filtered = append(filtered, p)
+			}
+		}
+		if len(filtered) == 0 {
+			fmt.Fprintf(os.Stderr, "spillbench: unknown benchmark %q\n", *only)
+			os.Exit(1)
+		}
+		suite = filtered
+	}
+
+	var results []*bench.Result
+	for _, p := range suite {
+		r, err := bench.RunWithOptions(p, bench.Options{Align: *align})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "spillbench: %v\n", err)
+			os.Exit(1)
+		}
+		results = append(results, r)
+	}
+
+	switch {
+	case *figure == 5:
+		fmt.Print(bench.Figure5(results))
+	case *table == 1:
+		fmt.Print(bench.Table1(results))
+	case *table == 2:
+		fmt.Print(bench.Table2(results))
+	default:
+		fmt.Print(bench.Figure5(results))
+		fmt.Println()
+		fmt.Print(bench.Table1(results))
+		fmt.Println()
+		fmt.Print(bench.Table2(results))
+		if *only != "" {
+			fmt.Println()
+			for _, r := range results {
+				fmt.Printf("%s: %d procedures, %d instructions, %d spilled vregs, result %d\n",
+					r.Name, r.Procedures, r.Instrs, r.SpilledVregs, r.ReturnValue)
+			}
+		}
+	}
+}

@@ -1,0 +1,115 @@
+// Command spillopt compiles a textual IR program through the pipeline:
+// profile by execution, allocate registers, place callee-saved
+// save/restore code with a chosen strategy, and report the measured
+// dynamic overhead (optionally printing the transformed program).
+//
+// Usage:
+//
+//	spillopt [-strategy hierarchical-jump] [-arg N] [-print] [-compare] prog.ir
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro"
+)
+
+var strategies = map[string]spillopt.Strategy{
+	"entry-exit":        spillopt.EntryExit,
+	"shrinkwrap":        spillopt.Shrinkwrap,
+	"shrinkwrap-seed":   spillopt.ShrinkwrapSeed,
+	"hierarchical-exec": spillopt.HierarchicalExec,
+	"hierarchical-jump": spillopt.HierarchicalJump,
+}
+
+func main() {
+	strategy := flag.String("strategy", "hierarchical-jump",
+		"placement strategy: entry-exit, shrinkwrap, shrinkwrap-seed, hierarchical-exec, hierarchical-jump")
+	arg := flag.Int64("arg", 100, "argument passed to the program's main")
+	show := flag.Bool("print", false, "print the transformed program")
+	dotFunc := flag.String("dot", "", "print the named function's CFG in Graphviz DOT format and exit")
+	compare := flag.Bool("compare", false, "run every strategy and compare overheads")
+	flag.Parse()
+
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: spillopt [flags] prog.ir")
+		os.Exit(2)
+	}
+	src, err := os.ReadFile(flag.Arg(0))
+	if err != nil {
+		fatal(err)
+	}
+
+	if *compare {
+		fmt.Printf("%-18s %10s %8s %8s %8s %8s\n",
+			"strategy", "overhead", "saves", "restores", "spill", "jumps")
+		for _, name := range []string{"entry-exit", "shrinkwrap", "shrinkwrap-seed", "hierarchical-exec", "hierarchical-jump"} {
+			res, err := runOne(string(src), strategies[name], *arg)
+			if err != nil {
+				fatal(fmt.Errorf("%s: %w", name, err))
+			}
+			fmt.Printf("%-18s %10d %8d %8d %8d %8d\n", name, res.Overhead,
+				res.Saves, res.Restores, res.SpillLoads+res.SpillStores, res.JumpBlockJumps)
+		}
+		return
+	}
+
+	s, ok := strategies[*strategy]
+	if !ok {
+		fatal(fmt.Errorf("unknown strategy %q", *strategy))
+	}
+	prog, err := build(string(src), s, *arg)
+	if err != nil {
+		fatal(err)
+	}
+	if *dotFunc != "" {
+		d, err := prog.DotCFG(*dotFunc)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Print(d)
+		return
+	}
+	res, err := prog.Run(*arg)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("result=%d instructions=%d overhead=%d (saves=%d restores=%d spill=%d jump=%d)\n",
+		res.Value, res.Instrs, res.Overhead, res.Saves, res.Restores,
+		res.SpillLoads+res.SpillStores, res.JumpBlockJumps)
+	if *show {
+		fmt.Print(prog.Text())
+	}
+}
+
+func build(src string, s spillopt.Strategy, arg int64) (*spillopt.Program, error) {
+	prog, err := spillopt.ParseProgram(src)
+	if err != nil {
+		return nil, err
+	}
+	if err := prog.Profile(arg); err != nil {
+		return nil, err
+	}
+	if err := prog.Allocate(); err != nil {
+		return nil, err
+	}
+	if err := prog.Place(s); err != nil {
+		return nil, err
+	}
+	return prog, nil
+}
+
+func runOne(src string, s spillopt.Strategy, arg int64) (*spillopt.Result, error) {
+	prog, err := build(src, s, arg)
+	if err != nil {
+		return nil, err
+	}
+	return prog.Run(arg)
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "spillopt: %v\n", err)
+	os.Exit(1)
+}

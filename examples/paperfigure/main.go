@@ -1,0 +1,77 @@
+// Paperfigure walks through the paper's worked example (Figures 2-4):
+// it builds the reconstructed Figure 2 control flow graph, shows the
+// maximal SESE regions of the program structure tree, the initial
+// save/restore sets from modified shrink-wrapping, and then replays
+// the hierarchical algorithm's region-by-region decisions under both
+// cost models, ending with the paper's final numbers (190 for the
+// execution count model, 200 for the jump edge model).
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/core"
+	"repro/internal/pst"
+	"repro/internal/shrinkwrap"
+	"repro/internal/workload"
+)
+
+func main() {
+	fig := workload.NewFigure2()
+	f := fig.Func
+
+	fmt.Println("=== Figure 2: the motivating example ===")
+	fmt.Printf("procedure with %d blocks, entry count %d\n", len(f.Blocks), f.EntryCount)
+	fmt.Printf("callee-saved register %v allocated in blocks D, E, H, K, N\n\n", fig.Reg)
+
+	ee := core.EntryExit(f)
+	fmt.Printf("entry/exit placement cost: %d (paper: 200)\n",
+		core.TotalCost(core.ExecCountModel{}, ee))
+
+	sw := shrinkwrap.Compute(f, shrinkwrap.Original)
+	fmt.Printf("Chow's shrink-wrapping cost: %d (paper: 250)\n",
+		core.TotalCost(core.ExecCountModel{}, sw))
+	for _, s := range sw {
+		fmt.Printf("  %v\n", s)
+	}
+
+	fmt.Println("\n=== Figure 3: maximal SESE regions and initial sets ===")
+	t, err := pst.Build(f)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, r := range t.BottomUp() {
+		fmt.Printf("  depth %d  %v  boundary cost %d\n",
+			r.Depth, r, r.EntryWeight(f)+r.ExitWeight(f))
+	}
+	seed := shrinkwrap.Compute(f, shrinkwrap.Seed)
+	fmt.Println("\ninitial save/restore sets (modified shrink-wrapping):")
+	for _, s := range seed {
+		fmt.Printf("  exec cost %3d, jump cost %3d: %v\n",
+			core.SetCost(core.ExecCountModel{}, s),
+			core.SetCost(core.JumpEdgeModel{}, s), s)
+	}
+
+	for _, m := range []core.CostModel{core.ExecCountModel{}, core.JumpEdgeModel{}} {
+		fmt.Printf("\n=== Figure 4: hierarchical placement, %s cost model ===\n", m.Name())
+		final, decisions := core.Hierarchical(f, t, seed, m)
+		for _, d := range decisions {
+			verdict := "keep contained sets"
+			if d.Replaced {
+				verdict = "REPLACE with boundary set"
+			}
+			entry := "procedure"
+			if d.Region.EntryEdge != nil {
+				entry = d.Region.EntryEdge.From.Name + "->" + d.Region.EntryEdge.To.Name
+			}
+			fmt.Printf("  region(%s): contained %d vs boundary %d -> %s\n",
+				entry, d.ContainedCost, d.BoundaryCost, verdict)
+		}
+		fmt.Printf("final sets (total cost %d):\n", core.TotalCost(m, final))
+		for _, s := range final {
+			fmt.Printf("  %v\n", s)
+		}
+	}
+	fmt.Println("\npaper's results: 190 (execution count model), 200 (jump edge model)")
+}

@@ -1,0 +1,238 @@
+package cfg
+
+import (
+	"testing"
+
+	"repro/internal/cfgtest"
+	"repro/internal/ir"
+)
+
+// diamond: A -> B,C -> D
+func diamond(t *testing.T) *ir.Func {
+	t.Helper()
+	return cfgtest.MustBuild("diamond",
+		[]string{"A", "B", "C", "D"},
+		[]cfgtest.Edge{
+			cfgtest.E("A", "B", 30), cfgtest.E("A", "C", 70),
+			cfgtest.E("B", "D", 30), cfgtest.E("C", "D", 70),
+		})
+}
+
+// loopFn: A -> B; B -> B (latch), B -> C
+func loopFn(t *testing.T) *ir.Func {
+	t.Helper()
+	return cfgtest.MustBuild("loop",
+		[]string{"A", "B", "C"},
+		[]cfgtest.Edge{
+			cfgtest.E("A", "B", 10),
+			cfgtest.E("B", "B", 90), cfgtest.E("B", "C", 10),
+		})
+}
+
+// nested: A -> H1; H1 -> H2, X; H2 -> B2; B2 -> H2, H1; X ret
+func nested(t *testing.T) *ir.Func {
+	t.Helper()
+	return cfgtest.MustBuild("nested",
+		[]string{"A", "H1", "H2", "B2", "X"},
+		[]cfgtest.Edge{
+			cfgtest.E("A", "H1", 1),
+			cfgtest.E("H1", "H2", 10), cfgtest.E("H1", "X", 1),
+			cfgtest.E("H2", "B2", 100),
+			cfgtest.E("B2", "H2", 90), cfgtest.E("B2", "H1", 10),
+		})
+}
+
+func TestDominatorsDiamond(t *testing.T) {
+	f := diamond(t)
+	dom := Dominators(f)
+	get := f.BlockByName
+	if dom.IDom[get("A").ID] != nil {
+		t.Error("entry must have nil idom")
+	}
+	for _, n := range []string{"B", "C", "D"} {
+		if dom.IDom[get(n).ID] != get("A") {
+			t.Errorf("idom(%s) = %v, want A", n, dom.IDom[get(n).ID])
+		}
+	}
+	if !dom.Dominates(get("A"), get("D")) {
+		t.Error("A should dominate D")
+	}
+	if dom.Dominates(get("B"), get("D")) {
+		t.Error("B should not dominate D")
+	}
+	if !dom.Dominates(get("B"), get("B")) {
+		t.Error("dominance is reflexive")
+	}
+	if dom.StrictlyDominates(get("B"), get("B")) {
+		t.Error("strict dominance is irreflexive")
+	}
+	if dom.Level(get("A")) != 0 || dom.Level(get("D")) != 1 {
+		t.Errorf("levels: A=%d D=%d", dom.Level(get("A")), dom.Level(get("D")))
+	}
+}
+
+func TestPostdominatorsDiamond(t *testing.T) {
+	f := diamond(t)
+	pdom := Postdominators(f)
+	get := f.BlockByName
+	for _, n := range []string{"A", "B", "C"} {
+		if pdom.IDom[get(n).ID] != get("D") {
+			t.Errorf("ipdom(%s) = %v, want D", n, pdom.IDom[get(n).ID])
+		}
+	}
+	if !pdom.Dominates(get("D"), get("A")) {
+		t.Error("D should postdominate A")
+	}
+	if pdom.Dominates(get("B"), get("A")) {
+		t.Error("B should not postdominate A")
+	}
+}
+
+func TestPostdominatorsMultiExit(t *testing.T) {
+	// A -> B (ret), A -> C (ret): nothing postdominates A except A.
+	f := cfgtest.MustBuild("multiexit",
+		[]string{"A", "B", "C"},
+		[]cfgtest.Edge{cfgtest.E("A", "B", 1), cfgtest.E("A", "C", 1)})
+	pdom := Postdominators(f)
+	get := f.BlockByName
+	if pdom.IDom[get("A").ID] != nil {
+		t.Errorf("ipdom(A) = %v, want virtual exit (nil)", pdom.IDom[get("A").ID])
+	}
+	if pdom.IDom[get("B").ID] != nil || pdom.IDom[get("C").ID] != nil {
+		t.Error("exits should be roots under the virtual exit")
+	}
+	if pdom.Dominates(get("B"), get("A")) {
+		t.Error("B should not postdominate A (C path escapes)")
+	}
+}
+
+func TestPostdomChainMultiExit(t *testing.T) {
+	// A -> B -> C(ret); B -> D(ret). B postdominates A.
+	f := cfgtest.MustBuild("chain",
+		[]string{"A", "B", "C", "D"},
+		[]cfgtest.Edge{
+			cfgtest.E("A", "B", 5),
+			cfgtest.E("B", "C", 2), cfgtest.E("B", "D", 3),
+		})
+	pdom := Postdominators(f)
+	get := f.BlockByName
+	if pdom.IDom[get("A").ID] != get("B") {
+		t.Errorf("ipdom(A) = %v, want B", pdom.IDom[get("A").ID])
+	}
+	if !pdom.Dominates(get("B"), get("A")) {
+		t.Error("B should postdominate A")
+	}
+}
+
+func TestOrders(t *testing.T) {
+	f := diamond(t)
+	rpo := ReversePostorder(f)
+	if len(rpo) != 4 || rpo[0] != f.Entry {
+		t.Fatalf("rpo = %v", rpo)
+	}
+	pos := make(map[*ir.Block]int)
+	for i, b := range rpo {
+		pos[b] = i
+	}
+	// In RPO every forward (non-back) edge goes left to right.
+	get := f.BlockByName
+	if !(pos[get("A")] < pos[get("B")] && pos[get("A")] < pos[get("C")] && pos[get("B")] < pos[get("D")]) {
+		t.Errorf("rpo order wrong: %v", pos)
+	}
+	po := Postorder(f)
+	if po[len(po)-1] != f.Entry {
+		t.Error("postorder should end at entry")
+	}
+}
+
+func TestFindLoopsSimple(t *testing.T) {
+	f := loopFn(t)
+	dom := Dominators(f)
+	lf := FindLoops(f, dom)
+	if len(lf.Loops) != 1 {
+		t.Fatalf("loops = %d, want 1", len(lf.Loops))
+	}
+	l := lf.Loops[0]
+	if l.Header != f.BlockByName("B") {
+		t.Errorf("header = %v", l.Header)
+	}
+	if got := cfgtest.Names(l.Blocks); got != "B" {
+		t.Errorf("body = %q, want B", got)
+	}
+	if lf.DepthOf[f.BlockByName("B").ID] != 1 {
+		t.Error("B depth should be 1")
+	}
+	if lf.DepthOf[f.BlockByName("A").ID] != 0 {
+		t.Error("A depth should be 0")
+	}
+	if lf.InnermostOf[f.BlockByName("B").ID] != l {
+		t.Error("InnermostOf(B) wrong")
+	}
+}
+
+func TestFindLoopsNested(t *testing.T) {
+	f := nested(t)
+	dom := Dominators(f)
+	lf := FindLoops(f, dom)
+	if len(lf.Loops) != 2 {
+		t.Fatalf("loops = %d, want 2", len(lf.Loops))
+	}
+	var outer, inner *Loop
+	for _, l := range lf.Loops {
+		switch l.Header.Name {
+		case "H1":
+			outer = l
+		case "H2":
+			inner = l
+		}
+	}
+	if outer == nil || inner == nil {
+		t.Fatal("missing expected loop headers")
+	}
+	if inner.Parent != outer {
+		t.Errorf("inner.Parent = %v, want outer", inner.Parent)
+	}
+	if outer.Depth != 1 || inner.Depth != 2 {
+		t.Errorf("depths: outer=%d inner=%d", outer.Depth, inner.Depth)
+	}
+	if got := cfgtest.Names(inner.Blocks); got != "B2 H2" {
+		t.Errorf("inner body = %q, want 'B2 H2'", got)
+	}
+	if got := cfgtest.Names(outer.Blocks); got != "B2 H1 H2" {
+		t.Errorf("outer body = %q, want 'B2 H1 H2'", got)
+	}
+	if lf.DepthOf[f.BlockByName("B2").ID] != 2 {
+		t.Error("B2 depth should be 2")
+	}
+}
+
+func TestReducibility(t *testing.T) {
+	f := nested(t)
+	dom := Dominators(f)
+	if !IsReducible(f, dom) {
+		t.Error("nested loops should be reducible")
+	}
+	// Irreducible: A -> B, A -> C, B -> C, C -> B, B -> X.
+	g := cfgtest.MustBuild("irr",
+		[]string{"A", "B", "C", "X"},
+		[]cfgtest.Edge{
+			cfgtest.E("A", "B", 1), cfgtest.E("A", "C", 1),
+			cfgtest.E("B", "C", 1), cfgtest.E("C", "B", 1),
+			cfgtest.E("B", "X", 1),
+		})
+	gdom := Dominators(g)
+	if IsReducible(g, gdom) {
+		t.Error("two-entry cycle should be irreducible")
+	}
+}
+
+func TestLoopDoesNotLeakOutside(t *testing.T) {
+	f := nested(t)
+	dom := Dominators(f)
+	lf := FindLoops(f, dom)
+	for _, l := range lf.Loops {
+		if l.Contains(f.BlockByName("X")) || l.Contains(f.BlockByName("A")) {
+			t.Errorf("loop %v contains non-loop block", l.Header)
+		}
+	}
+}

@@ -1,0 +1,337 @@
+// Package cfg provides control flow graph analyses over ir.Func:
+// dominators, postdominators, depth-first orders, natural loops, and
+// reducibility — the structural facts consumed by the PST builder,
+// the register allocator, and spill code placement.
+package cfg
+
+import (
+	"repro/internal/ir"
+)
+
+// DomTree holds an (immediate-)dominator tree computed by the
+// iterative Cooper-Harvey-Kennedy algorithm. It serves for both
+// dominance (over the forward CFG) and postdominance (over the
+// reverse CFG with a virtual exit).
+type DomTree struct {
+	// IDom[b.ID] is the immediate dominator of b, or nil for the root
+	// and for nodes unreachable in the direction analyzed.
+	IDom []*ir.Block
+	// Children[b.ID] lists blocks immediately dominated by b.
+	Children [][]*ir.Block
+	root     *ir.Block
+	// level[b.ID] is the depth of b in the dominator tree.
+	level []int
+	post  bool // true if this is a postdominator tree
+}
+
+// Dominators computes the dominator tree of f rooted at the entry.
+func Dominators(f *ir.Func) *DomTree {
+	order := ReversePostorder(f)
+	return buildDomTree(f, f.Entry, order, false)
+}
+
+// Postdominators computes the postdominator tree of f. Functions with
+// multiple exit blocks are handled by treating every exit as having an
+// edge to a virtual exit; the virtual exit is represented by a nil
+// immediate postdominator on the exits themselves (each exit is a root
+// of its own subtree under the virtual exit). Blocks from which no
+// exit is reachable (infinite loops) get nil as well.
+func Postdominators(f *ir.Func) *DomTree {
+	exits := f.Exits()
+	if len(exits) == 1 {
+		order := reversePostorderFrom(f, exits[0], true)
+		return buildDomTreeDir(f, exits[0], order, true)
+	}
+	// Multiple or zero exits: compute with a virtual root. We run the
+	// CHK iteration treating all exits as roots (idom fixed to nil).
+	return buildMultiRootPostdom(f, exits)
+}
+
+// ReversePostorder returns the blocks of f in reverse postorder of a
+// DFS from the entry over forward edges.
+func ReversePostorder(f *ir.Func) []*ir.Block {
+	return reversePostorderFrom(f, f.Entry, false)
+}
+
+// Postorder returns the blocks in postorder of a DFS from the entry.
+func Postorder(f *ir.Func) []*ir.Block {
+	rpo := ReversePostorder(f)
+	out := make([]*ir.Block, len(rpo))
+	for i, b := range rpo {
+		out[len(rpo)-1-i] = b
+	}
+	return out
+}
+
+func reversePostorderFrom(f *ir.Func, root *ir.Block, reverse bool) []*ir.Block {
+	seen := make([]bool, len(f.Blocks))
+	var post []*ir.Block
+	var dfs func(b *ir.Block)
+	dfs = func(b *ir.Block) {
+		seen[b.ID] = true
+		if reverse {
+			for _, e := range b.Preds {
+				if !seen[e.From.ID] {
+					dfs(e.From)
+				}
+			}
+		} else {
+			for _, e := range b.Succs {
+				if !seen[e.To.ID] {
+					dfs(e.To)
+				}
+			}
+		}
+		post = append(post, b)
+	}
+	dfs(root)
+	// Reverse in place.
+	for i, j := 0, len(post)-1; i < j; i, j = i+1, j-1 {
+		post[i], post[j] = post[j], post[i]
+	}
+	return post
+}
+
+func buildDomTree(f *ir.Func, root *ir.Block, order []*ir.Block, post bool) *DomTree {
+	return buildDomTreeDir(f, root, order, post)
+}
+
+// buildDomTreeDir runs the Cooper-Harvey-Kennedy iterative dominance
+// algorithm over the given traversal order. If post is true, edges are
+// walked in reverse (predecessors become successors).
+func buildDomTreeDir(f *ir.Func, root *ir.Block, order []*ir.Block, post bool) *DomTree {
+	n := len(f.Blocks)
+	t := &DomTree{
+		IDom:     make([]*ir.Block, n),
+		Children: make([][]*ir.Block, n),
+		root:     root,
+		level:    make([]int, n),
+		post:     post,
+	}
+	// rpoNum[b.ID] = position in order; lower = closer to root.
+	rpoNum := make([]int, n)
+	for i := range rpoNum {
+		rpoNum[i] = -1
+	}
+	for i, b := range order {
+		rpoNum[b.ID] = i
+	}
+	t.IDom[root.ID] = root // temporarily self, per CHK
+	intersect := func(b1, b2 *ir.Block) *ir.Block {
+		for b1 != b2 {
+			for rpoNum[b1.ID] > rpoNum[b2.ID] {
+				b1 = t.IDom[b1.ID]
+			}
+			for rpoNum[b2.ID] > rpoNum[b1.ID] {
+				b2 = t.IDom[b2.ID]
+			}
+		}
+		return b1
+	}
+	changed := true
+	for changed {
+		changed = false
+		for _, b := range order {
+			if b == root {
+				continue
+			}
+			var newIDom *ir.Block
+			preds := predsDir(b, post)
+			for _, p := range preds {
+				if rpoNum[p.ID] < 0 || t.IDom[p.ID] == nil {
+					continue // unreachable or unprocessed
+				}
+				if newIDom == nil {
+					newIDom = p
+				} else {
+					newIDom = intersect(p, newIDom)
+				}
+			}
+			if newIDom != nil && t.IDom[b.ID] != newIDom {
+				t.IDom[b.ID] = newIDom
+				changed = true
+			}
+		}
+	}
+	t.IDom[root.ID] = nil
+	t.finish(f)
+	return t
+}
+
+// buildMultiRootPostdom handles postdominance with several (or zero)
+// exit blocks by making each exit a root.
+func buildMultiRootPostdom(f *ir.Func, exits []*ir.Block) *DomTree {
+	n := len(f.Blocks)
+	t := &DomTree{
+		IDom:     make([]*ir.Block, n),
+		Children: make([][]*ir.Block, n),
+		level:    make([]int, n),
+		post:     true,
+	}
+	if len(exits) == 0 {
+		t.finish(f)
+		return t
+	}
+	// Build a combined reverse-DFS order from all exits.
+	seen := make([]bool, n)
+	var postOrd []*ir.Block
+	var dfs func(b *ir.Block)
+	dfs = func(b *ir.Block) {
+		seen[b.ID] = true
+		for _, e := range b.Preds {
+			if !seen[e.From.ID] {
+				dfs(e.From)
+			}
+		}
+		postOrd = append(postOrd, b)
+	}
+	for _, x := range exits {
+		if !seen[x.ID] {
+			dfs(x)
+		}
+	}
+	order := make([]*ir.Block, len(postOrd))
+	for i, b := range postOrd {
+		order[len(postOrd)-1-i] = b
+	}
+	rpoNum := make([]int, n)
+	for i := range rpoNum {
+		rpoNum[i] = -1
+	}
+	for i, b := range order {
+		rpoNum[b.ID] = i
+	}
+	isExit := make([]bool, n)
+	for _, x := range exits {
+		isExit[x.ID] = true
+		t.IDom[x.ID] = x
+	}
+	intersect := func(b1, b2 *ir.Block) *ir.Block {
+		for b1 != b2 {
+			for rpoNum[b1.ID] > rpoNum[b2.ID] {
+				nxt := t.IDom[b1.ID]
+				if nxt == b1 {
+					return nil // reached a root
+				}
+				b1 = nxt
+			}
+			for rpoNum[b2.ID] > rpoNum[b1.ID] {
+				nxt := t.IDom[b2.ID]
+				if nxt == b2 {
+					return nil
+				}
+				b2 = nxt
+			}
+		}
+		return b1
+	}
+	changed := true
+	for changed {
+		changed = false
+		for _, b := range order {
+			if isExit[b.ID] {
+				continue
+			}
+			var newIDom *ir.Block
+			merged := false
+			for _, e := range b.Succs {
+				s := e.To
+				if rpoNum[s.ID] < 0 || t.IDom[s.ID] == nil {
+					continue
+				}
+				if newIDom == nil {
+					newIDom = s
+					continue
+				}
+				m := intersect(s, newIDom)
+				if m == nil {
+					// Successors postdominated by different exits:
+					// only the virtual exit postdominates b.
+					merged = true
+					break
+				}
+				newIDom = m
+			}
+			if merged {
+				if t.IDom[b.ID] != b {
+					t.IDom[b.ID] = b // self marks "virtual exit is idom"
+					changed = true
+				}
+				continue
+			}
+			if newIDom != nil && t.IDom[b.ID] != newIDom {
+				t.IDom[b.ID] = newIDom
+				changed = true
+			}
+		}
+	}
+	// Normalize: self-idom means immediate postdominator is the
+	// virtual exit, which we encode as nil.
+	for i := range t.IDom {
+		if t.IDom[i] == f.Blocks[i] {
+			t.IDom[i] = nil
+		}
+	}
+	t.finish(f)
+	return t
+}
+
+func predsDir(b *ir.Block, post bool) []*ir.Block {
+	var out []*ir.Block
+	if post {
+		for _, e := range b.Succs {
+			out = append(out, e.To)
+		}
+	} else {
+		for _, e := range b.Preds {
+			out = append(out, e.From)
+		}
+	}
+	return out
+}
+
+// finish populates Children and level from IDom.
+func (t *DomTree) finish(f *ir.Func) {
+	for _, b := range f.Blocks {
+		if d := t.IDom[b.ID]; d != nil {
+			t.Children[d.ID] = append(t.Children[d.ID], b)
+		}
+	}
+	// Levels via BFS from roots (blocks with nil idom).
+	var queue []*ir.Block
+	for _, b := range f.Blocks {
+		if t.IDom[b.ID] == nil {
+			t.level[b.ID] = 0
+			queue = append(queue, b)
+		}
+	}
+	for len(queue) > 0 {
+		b := queue[0]
+		queue = queue[1:]
+		for _, c := range t.Children[b.ID] {
+			t.level[c.ID] = t.level[b.ID] + 1
+			queue = append(queue, c)
+		}
+	}
+}
+
+// Dominates reports whether a dominates b (reflexively). For a
+// postdominator tree this means "a postdominates b". Blocks whose
+// chains terminate at different roots are unrelated.
+func (t *DomTree) Dominates(a, b *ir.Block) bool {
+	for b != nil {
+		if a == b {
+			return true
+		}
+		b = t.IDom[b.ID]
+	}
+	return false
+}
+
+// StrictlyDominates reports a dominates b and a != b.
+func (t *DomTree) StrictlyDominates(a, b *ir.Block) bool {
+	return a != b && t.Dominates(a, b)
+}
+
+// Level returns b's depth in the tree (0 for roots).
+func (t *DomTree) Level(b *ir.Block) int { return t.level[b.ID] }

@@ -1,0 +1,104 @@
+// Package cfgtest builds ir.Func control flow graphs from compact
+// edge-list descriptions. It exists for tests and examples: the spill
+// placement analyses only consume CFG shape and edge weights, so test
+// graphs don't need meaningful straight-line code.
+package cfgtest
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/ir"
+)
+
+// Edge describes one weighted control flow edge by block name.
+type Edge struct {
+	From, To string
+	Weight   int64
+}
+
+// E is shorthand for constructing an Edge.
+func E(from, to string, w int64) Edge { return Edge{From: from, To: to, Weight: w} }
+
+// Build constructs a function whose blocks appear in layout order
+// exactly as listed in names, with the given edges. Each block gets a
+// placeholder body and a terminator derived from its out-degree:
+// 0 -> ret, 1 -> jmp, 2 -> br (first edge listed is the taken target).
+// Blocks with more than two successors are rejected. Edge kinds are
+// classified from the layout per the paper's jump-edge definition.
+func Build(name string, names []string, edges []Edge) (*ir.Func, error) {
+	f := ir.NewFunc(name)
+	blocks := make(map[string]*ir.Block, len(names))
+	for _, n := range names {
+		if _, dup := blocks[n]; dup {
+			return nil, fmt.Errorf("cfgtest: duplicate block %q", n)
+		}
+		blocks[n] = f.NewBlock(n)
+	}
+	succs := make(map[string][]Edge)
+	for _, e := range edges {
+		if blocks[e.From] == nil || blocks[e.To] == nil {
+			return nil, fmt.Errorf("cfgtest: edge %s->%s references unknown block", e.From, e.To)
+		}
+		succs[e.From] = append(succs[e.From], e)
+	}
+	cond := f.NewVirt()
+	for _, n := range names {
+		b := blocks[n]
+		out := succs[n]
+		// A trivial body so liveness and the VM have something to chew.
+		b.Append(&ir.Instr{Op: ir.OpConst, Dst: cond, Src1: ir.NoReg, Src2: ir.NoReg, Imm: 1})
+		switch len(out) {
+		case 0:
+			b.Append(&ir.Instr{Op: ir.OpRet, Dst: ir.NoReg, Src1: ir.NoReg, Src2: ir.NoReg})
+		case 1:
+			b.Append(&ir.Instr{Op: ir.OpJmp, Dst: ir.NoReg, Src1: ir.NoReg, Src2: ir.NoReg, Then: blocks[out[0].To]})
+			f.AddEdge(b, blocks[out[0].To], ir.Jump, out[0].Weight)
+		case 2:
+			b.Append(&ir.Instr{Op: ir.OpBr, Dst: ir.NoReg, Src1: cond, Src2: ir.NoReg,
+				Then: blocks[out[0].To], Else: blocks[out[1].To]})
+			f.AddEdge(b, blocks[out[0].To], ir.Jump, out[0].Weight)
+			f.AddEdge(b, blocks[out[1].To], ir.Jump, out[1].Weight)
+		default:
+			return nil, fmt.Errorf("cfgtest: block %q has %d successors, max 2", n, len(out))
+		}
+	}
+	f.RenumberBlocks()
+	f.ClassifyEdges()
+	f.EntryCount = entryCount(f)
+	if err := ir.Verify(f); err != nil {
+		return nil, err
+	}
+	return f, nil
+}
+
+// MustBuild is Build that panics on error, for tests and examples.
+func MustBuild(name string, names []string, edges []Edge) *ir.Func {
+	f, err := Build(name, names, edges)
+	if err != nil {
+		panic(err)
+	}
+	return f
+}
+
+func entryCount(f *ir.Func) int64 {
+	var n int64
+	for _, e := range f.Entry.Succs {
+		n += e.Weight
+	}
+	if n == 0 {
+		n = 1
+	}
+	return n
+}
+
+// Names returns a sorted list of block names, handy for assertions.
+func Names(blocks []*ir.Block) string {
+	out := make([]string, len(blocks))
+	for i, b := range blocks {
+		out[i] = b.Name
+	}
+	sort.Strings(out)
+	return strings.Join(out, " ")
+}

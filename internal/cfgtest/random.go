@@ -1,0 +1,117 @@
+package cfgtest
+
+import (
+	"fmt"
+
+	"repro/internal/ir"
+)
+
+// RandomStructured generates a random structured control flow graph
+// with flow-consistent edge weights: nested sequences, conditionals
+// and bottom-tested loops, the shapes the spill placement analyses
+// meet in practice. The same seed always yields the same function.
+func RandomStructured(seed uint64, maxDepth int) *ir.Func {
+	g := &rgen{
+		f:    ir.NewFunc(fmt.Sprintf("rand%x", seed)),
+		rng:  seed | 1,
+		maxD: maxDepth,
+	}
+	entry := g.f.NewBlock("entry")
+	g.cond = g.f.NewVirt()
+	entry.Append(&ir.Instr{Op: ir.OpConst, Dst: g.cond, Src1: ir.NoReg, Src2: ir.NoReg, Imm: 1})
+	g.f.EntryCount = 1000
+	last := g.seq(entry, 1000, 0)
+	last.Append(&ir.Instr{Op: ir.OpRet, Dst: ir.NoReg, Src1: ir.NoReg, Src2: ir.NoReg})
+	g.f.RenumberBlocks()
+	g.f.ClassifyEdges()
+	return g.f
+}
+
+type rgen struct {
+	f    *ir.Func
+	rng  uint64
+	cond ir.Reg
+	n    int
+	maxD int
+}
+
+func (g *rgen) next() uint64 {
+	x := g.rng
+	x ^= x << 13
+	x ^= x >> 7
+	x ^= x << 17
+	g.rng = x
+	return x
+}
+
+func (g *rgen) intn(n int) int { return int(g.next() % uint64(n)) }
+
+func (g *rgen) block() *ir.Block {
+	g.n++
+	return g.f.NewBlock(fmt.Sprintf("b%d", g.n))
+}
+
+// seq emits 1-3 constructs starting in cur with inflow weight w and
+// returns the block where control continues.
+func (g *rgen) seq(cur *ir.Block, w int64, depth int) *ir.Block {
+	n := 1 + g.intn(3)
+	for i := 0; i < n; i++ {
+		switch k := g.intn(10); {
+		case k < 4 || depth >= g.maxD:
+			// Straight-line filler.
+			cur.Append(&ir.Instr{Op: ir.OpConst, Dst: g.cond, Src1: ir.NoReg, Src2: ir.NoReg, Imm: 1})
+		case k < 8:
+			cur = g.branch(cur, w, depth)
+		default:
+			cur = g.loop(cur, w, depth)
+		}
+	}
+	return cur
+}
+
+// branch emits if/else (or if-only) with a random weight split.
+func (g *rgen) branch(cur *ir.Block, w int64, depth int) *ir.Block {
+	wThen := w * int64(1+g.intn(9)) / 10
+	wElse := w - wThen
+	thenB := g.block()
+	join := g.block()
+	if g.intn(2) == 0 {
+		// if-then: else edge goes straight to the join.
+		cur.Append(&ir.Instr{Op: ir.OpBr, Dst: ir.NoReg, Src1: g.cond, Src2: ir.NoReg,
+			Then: thenB, Else: join})
+		g.f.AddEdge(cur, thenB, ir.Jump, wThen)
+		g.f.AddEdge(cur, join, ir.Jump, wElse)
+		end := g.seq(thenB, wThen, depth+1)
+		end.Append(&ir.Instr{Op: ir.OpJmp, Dst: ir.NoReg, Src1: ir.NoReg, Src2: ir.NoReg, Then: join})
+		g.f.AddEdge(end, join, ir.Jump, wThen)
+	} else {
+		elseB := g.block()
+		cur.Append(&ir.Instr{Op: ir.OpBr, Dst: ir.NoReg, Src1: g.cond, Src2: ir.NoReg,
+			Then: thenB, Else: elseB})
+		g.f.AddEdge(cur, thenB, ir.Jump, wThen)
+		g.f.AddEdge(cur, elseB, ir.Jump, wElse)
+		tEnd := g.seq(thenB, wThen, depth+1)
+		tEnd.Append(&ir.Instr{Op: ir.OpJmp, Dst: ir.NoReg, Src1: ir.NoReg, Src2: ir.NoReg, Then: join})
+		g.f.AddEdge(tEnd, join, ir.Jump, wThen)
+		eEnd := g.seq(elseB, wElse, depth+1)
+		eEnd.Append(&ir.Instr{Op: ir.OpJmp, Dst: ir.NoReg, Src1: ir.NoReg, Src2: ir.NoReg, Then: join})
+		g.f.AddEdge(eEnd, join, ir.Jump, wElse)
+	}
+	return join
+}
+
+// loop emits a bottom-tested loop executing a random multiple of the
+// inflow weight.
+func (g *rgen) loop(cur *ir.Block, w int64, depth int) *ir.Block {
+	trips := int64(2 + g.intn(6))
+	header := g.block()
+	exit := g.block()
+	cur.Append(&ir.Instr{Op: ir.OpJmp, Dst: ir.NoReg, Src1: ir.NoReg, Src2: ir.NoReg, Then: header})
+	g.f.AddEdge(cur, header, ir.Jump, w)
+	bodyEnd := g.seq(header, w*trips, depth+1)
+	bodyEnd.Append(&ir.Instr{Op: ir.OpBr, Dst: ir.NoReg, Src1: g.cond, Src2: ir.NoReg,
+		Then: header, Else: exit})
+	g.f.AddEdge(bodyEnd, header, ir.Jump, w*(trips-1))
+	g.f.AddEdge(bodyEnd, exit, ir.Jump, w)
+	return exit
+}

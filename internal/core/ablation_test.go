@@ -1,0 +1,85 @@
+package core_test
+
+// Ablations of design choices the paper calls out:
+//
+//   - maximal vs canonical SESE regions: the paper deviates from
+//     Johnson/Pearson/Pingali by using maximal regions. Since every
+//     edge of a cycle-equivalence class runs at the same frequency,
+//     hoisting through the extra canonical boundaries cannot change
+//     the final cost — only the amount of work. Verified here.
+//   - one traversal iteration: the paper limits the algorithm to one
+//     pass to avoid the imprecision of incremental jump-cost updates;
+//     a second pass over the first pass's output must change nothing
+//     under the execution count model (fixpoint).
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/pst"
+	"repro/internal/shrinkwrap"
+	"repro/internal/workload"
+)
+
+func TestCanonicalEqualsMaximalCost(t *testing.T) {
+	funcs := randomFuncs(t, 20)
+	funcs = append(funcs, workload.NewFigure2().Func)
+	m := core.ExecCountModel{}
+	for _, f := range funcs {
+		maxT, err := pst.Build(f)
+		if err != nil {
+			t.Fatalf("%s: %v", f.Name, err)
+		}
+		canT, err := pst.BuildMode(f, pst.Canonical)
+		if err != nil {
+			t.Fatalf("%s: %v", f.Name, err)
+		}
+		seed := shrinkwrap.Compute(f, shrinkwrap.Seed)
+		maxF, _ := core.Hierarchical(f, maxT, seed, m)
+		canF, _ := core.Hierarchical(f, canT, seed, m)
+		mc, cc := core.TotalCost(m, maxF), core.TotalCost(m, canF)
+		if mc != cc {
+			t.Errorf("%s: maximal-region cost %d != canonical-region cost %d", f.Name, mc, cc)
+		}
+		if err := core.ValidateSets(f, canF); err != nil {
+			t.Errorf("%s canonical placement invalid: %v", f.Name, err)
+		}
+	}
+}
+
+func TestSecondPassIsFixpointExecModel(t *testing.T) {
+	m := core.ExecCountModel{}
+	for _, f := range randomFuncs(t, 20) {
+		tr, err := pst.Build(f)
+		if err != nil {
+			t.Fatalf("%s: %v", f.Name, err)
+		}
+		seed := shrinkwrap.Compute(f, shrinkwrap.Seed)
+		once, _ := core.Hierarchical(f, tr, seed, m)
+		twice, _ := core.Hierarchical(f, tr, once, m)
+		c1, c2 := core.TotalCost(m, once), core.TotalCost(m, twice)
+		if c2 != c1 {
+			t.Errorf("%s: second pass changed cost %d -> %d (not a fixpoint)", f.Name, c1, c2)
+		}
+	}
+}
+
+func TestJumpModelSecondPassNeverWorse(t *testing.T) {
+	// Under the jump edge model a second pass may differ (the paper
+	// explains why one iteration is chosen), but it must never
+	// increase the cost: every replacement is non-increasing.
+	m := core.JumpEdgeModel{}
+	for _, f := range randomFuncs(t, 20) {
+		tr, err := pst.Build(f)
+		if err != nil {
+			t.Fatalf("%s: %v", f.Name, err)
+		}
+		seed := shrinkwrap.Compute(f, shrinkwrap.Seed)
+		once, _ := core.Hierarchical(f, tr, seed, m)
+		twice, _ := core.Hierarchical(f, tr, once, m)
+		c1, c2 := core.TotalCost(m, once), core.TotalCost(m, twice)
+		if c2 > c1 {
+			t.Errorf("%s: second pass increased cost %d -> %d", f.Name, c1, c2)
+		}
+	}
+}

@@ -1,0 +1,250 @@
+package core_test
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/ir"
+	"repro/internal/pst"
+	"repro/internal/shrinkwrap"
+	"repro/internal/workload"
+)
+
+func TestApplyEntryExit(t *testing.T) {
+	fig := workload.NewFigure2()
+	f := fig.Func.Clone()
+	f.UsedCalleeSaved = fig.Func.UsedCalleeSaved
+	sets := core.EntryExit(f)
+	if err := core.Apply(f, sets); err != nil {
+		t.Fatal(err)
+	}
+	if f.SaveSlots != 1 {
+		t.Errorf("SaveSlots = %d, want 1", f.SaveSlots)
+	}
+	// Save is the first instruction of the entry block.
+	first := f.Entry.Instrs[0]
+	if first.Op != ir.OpSave || first.Flags&ir.FlagSaveRestore == 0 {
+		t.Errorf("entry head = %v, want flagged save", first)
+	}
+	// Restore just before the ret of P.
+	p := f.BlockByName("P")
+	rest := p.Instrs[len(p.Instrs)-2]
+	if rest.Op != ir.OpRestore || rest.Dst != fig.Reg {
+		t.Errorf("before ret = %v, want restore of %v", rest, fig.Reg)
+	}
+	if got := core.DynamicOverhead(f); got != 200 {
+		t.Errorf("dynamic overhead = %d, want 200", got)
+	}
+	bd := core.Breakdown(f)
+	if bd.Saves != 100 || bd.Restores != 100 || bd.JumpBlockJmps != 0 {
+		t.Errorf("breakdown = %+v", bd)
+	}
+}
+
+func TestApplySeedCreatesJumpBlock(t *testing.T) {
+	fig := workload.NewFigure2()
+	f := fig.Func // seed placement computed on the original
+	sets := shrinkwrap.Compute(f, shrinkwrap.Seed)
+
+	clone := f.Clone()
+	clone.UsedCalleeSaved = f.UsedCalleeSaved
+	// Remap set locations onto the clone by rebuilding them there.
+	csets := shrinkwrap.Compute(clone, shrinkwrap.Seed)
+	if len(csets) != len(sets) {
+		t.Fatalf("clone seed sets = %d, want %d", len(csets), len(sets))
+	}
+	nBefore := len(clone.Blocks)
+	if err := core.Apply(clone, csets); err != nil {
+		t.Fatal(err)
+	}
+	if len(clone.Blocks) != nBefore+1 {
+		t.Fatalf("blocks after apply = %d, want %d (one jump block for D->F)",
+			len(clone.Blocks), nBefore+1)
+	}
+	// Find the jump block: ends in a flagged jmp, contains a restore.
+	var jb *ir.Block
+	for _, b := range clone.Blocks {
+		if tm := b.Terminator(); tm != nil && tm.Flags&ir.FlagJumpBlock != 0 {
+			jb = b
+		}
+	}
+	if jb == nil {
+		t.Fatal("no jump block created")
+	}
+	if jb.Instrs[0].Op != ir.OpRestore {
+		t.Errorf("jump block body = %v, want restore first", jb.Instrs[0])
+	}
+	if jb.ExecCount() != 30 {
+		t.Errorf("jump block exec count = %d, want 30 (D->F weight)", jb.ExecCount())
+	}
+	// Seed overhead: sets cost 230 exec + one 30-weight jump = 260.
+	if got := core.DynamicOverhead(clone); got != 260 {
+		t.Errorf("dynamic overhead = %d, want 260", got)
+	}
+	bd := core.Breakdown(clone)
+	if bd.JumpBlockJmps != 30 {
+		t.Errorf("jump block overhead = %d, want 30", bd.JumpBlockJmps)
+	}
+	if bd.Saves+bd.Restores != 230 {
+		t.Errorf("save+restore overhead = %d, want 230", bd.Saves+bd.Restores)
+	}
+}
+
+func TestApplyHierarchicalExecCount(t *testing.T) {
+	fig := workload.NewFigure2()
+	f := fig.Func
+	p, err := pst.Build(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seed := shrinkwrap.Compute(f, shrinkwrap.Seed)
+	final, _ := core.Hierarchical(f, p, seed, core.ExecCountModel{})
+
+	clone := f.Clone()
+	clone.UsedCalleeSaved = f.UsedCalleeSaved
+	// Rebuild the same placement on the clone.
+	pc, err := pst.Build(clone)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cseed := shrinkwrap.Compute(clone, shrinkwrap.Seed)
+	cfinal, _ := core.Hierarchical(clone, pc, cseed, core.ExecCountModel{})
+	if len(cfinal) != len(final) {
+		t.Fatalf("clone placement differs")
+	}
+	if err := core.Apply(clone, cfinal); err != nil {
+		t.Fatal(err)
+	}
+	// Exec-count model ignores the jump instruction that the D->F
+	// restore needs, so realized overhead = 190 + 30 = 220.
+	if got := core.DynamicOverhead(clone); got != 220 {
+		t.Errorf("realized exec-count overhead = %d, want 220", got)
+	}
+}
+
+func TestApplyFallThroughSplitNoJump(t *testing.T) {
+	// A set placed on a fall-through critical edge splits the edge but
+	// adds no jump overhead.
+	bu := ir.NewBuilder("ft", 0)
+	a := bu.Block("A")
+	b := bu.F.NewBlock("B")
+	c := bu.F.NewBlock("C")
+	d := bu.F.NewBlock("D")
+	bu.SetCurrent(a)
+	cv := bu.Const(1)
+	bu.Br(cv, c, b, 40, 60) // A->B fall-through (B next), A->C jump
+	bu.SetCurrent(b)
+	bu.Br(cv, d, c, 10, 50) // B->C fall-through, B->D jump
+	bu.SetCurrent(c)
+	bu.Jmp(d, 90)
+	bu.SetCurrent(d)
+	bu.Ret(ir.NoReg)
+	f := bu.Finish()
+	f.EntryCount = 100
+	reg := ir.Phys(12)
+	f.UsedCalleeSaved = []ir.Reg{reg}
+
+	// B->C is fall-through and critical (B has 2 succs, C has 2 preds).
+	e := f.BlockByName("B").SuccEdge(f.BlockByName("C"))
+	if e.Kind != ir.FallThrough {
+		t.Fatalf("B->C kind = %v, want fall-through", e.Kind)
+	}
+	loc := core.EdgeLoc(e)
+	if loc.Kind != core.OnEdge {
+		t.Fatalf("B->C should stay OnEdge, got %v", loc)
+	}
+	sets := []*core.Set{{
+		Reg:      reg,
+		Saves:    []core.Location{core.HeadLoc(f.Entry)},
+		Restores: []core.Location{loc, {Kind: core.OnEdge, Edge: f.BlockByName("B").SuccEdge(f.BlockByName("D"))}},
+	}}
+	// Not a semantically meaningful placement; Apply only cares about
+	// mechanics.
+	if err := core.Apply(f, sets); err != nil {
+		t.Fatal(err)
+	}
+	if err := ir.Verify(f); err != nil {
+		t.Fatal(err)
+	}
+	// Two splits: one fall-through (no flagged jmp), one jump edge.
+	var flagged, plain int
+	for _, blk := range f.Blocks {
+		if tm := blk.Terminator(); tm != nil && tm.Op == ir.OpJmp {
+			if tm.Flags&ir.FlagJumpBlock != 0 {
+				flagged++
+			}
+		}
+	}
+	for _, blk := range f.Blocks {
+		if len(blk.Instrs) >= 2 && blk.Instrs[0].Op == ir.OpRestore {
+			plain++
+		}
+	}
+	if flagged != 1 {
+		t.Errorf("flagged jump-block jumps = %d, want 1 (B->D only)", flagged)
+	}
+	bd := core.Breakdown(f)
+	if bd.JumpBlockJmps != 10 {
+		t.Errorf("jump overhead = %d, want 10 (B->D weight)", bd.JumpBlockJmps)
+	}
+	// The fall-through split block must sit directly after B in layout.
+	bIdx := -1
+	for i, blk := range f.Blocks {
+		if blk.Name == "B" {
+			bIdx = i
+		}
+	}
+	next := f.Blocks[bIdx+1]
+	if next.Instrs[0].Op != ir.OpRestore {
+		t.Errorf("block after B = %s, want the fall-through split block", next.Name)
+	}
+	if next.SuccEdge(f.BlockByName("C")) == nil {
+		t.Errorf("fall-through split block should lead to C")
+	}
+}
+
+func TestApplySharedJumpBlock(t *testing.T) {
+	// Two registers with spill code on the same jump edge share one
+	// jump block and one jump instruction.
+	bu := ir.NewBuilder("share", 0)
+	a := bu.Block("A")
+	b := bu.F.NewBlock("B")
+	c := bu.F.NewBlock("C")
+	d := bu.F.NewBlock("D")
+	bu.SetCurrent(a)
+	cv := bu.Const(1)
+	bu.Br(cv, c, b, 40, 60)
+	bu.SetCurrent(b)
+	bu.Jmp(c, 60)
+	bu.SetCurrent(c)
+	bu.Jmp(d, 100)
+	bu.SetCurrent(d)
+	bu.Ret(ir.NoReg)
+	f := bu.Finish()
+	f.EntryCount = 100
+	r1, r2 := ir.Phys(12), ir.Phys(13)
+	f.UsedCalleeSaved = []ir.Reg{r1, r2}
+
+	e := f.BlockByName("A").SuccEdge(f.BlockByName("C")) // jump, critical
+	sets := []*core.Set{
+		{Reg: r1, Saves: []core.Location{core.HeadLoc(a)}, Restores: []core.Location{{Kind: core.OnEdge, Edge: e}}},
+		{Reg: r2, Saves: []core.Location{core.HeadLoc(a)}, Restores: []core.Location{{Kind: core.OnEdge, Edge: e}}},
+	}
+	nBefore := len(f.Blocks)
+	if err := core.Apply(f, sets); err != nil {
+		t.Fatal(err)
+	}
+	if len(f.Blocks) != nBefore+1 {
+		t.Fatalf("want exactly one shared jump block, got %d new", len(f.Blocks)-nBefore)
+	}
+	if f.SaveSlots != 2 {
+		t.Errorf("SaveSlots = %d, want 2", f.SaveSlots)
+	}
+	bd := core.Breakdown(f)
+	if bd.JumpBlockJmps != 40 {
+		t.Errorf("jump overhead = %d, want 40 (one jump, weight 40)", bd.JumpBlockJmps)
+	}
+	if bd.Restores != 80 {
+		t.Errorf("restore overhead = %d, want 80 (two restores at 40)", bd.Restores)
+	}
+}

@@ -1,0 +1,104 @@
+package core
+
+import "repro/internal/ir"
+
+// CostModel assigns a dynamic-overhead cost to save/restore locations.
+// The paper defines two: the execution count model (optimal, but may
+// place code on jump edges without accounting for the jump) and the
+// jump edge model (charges the jump instruction a jump block needs).
+type CostModel interface {
+	// LocationCost returns the dynamic cost of placing one spill
+	// instruction at l. seed selects the initial-set rule that shares
+	// a jump instruction's cost among registers.
+	LocationCost(l Location, seed bool) int64
+	// Name identifies the model in reports.
+	Name() string
+}
+
+// ExecCountModel is the paper's execution count cost model: each
+// inserted instruction costs the execution count of its location. The
+// hierarchical algorithm is provably optimal under this model.
+type ExecCountModel struct{}
+
+// LocationCost returns the location's execution count.
+func (ExecCountModel) LocationCost(l Location, seed bool) int64 { return l.Weight() }
+
+// Name returns "exec-count".
+func (ExecCountModel) Name() string { return "exec-count" }
+
+// JumpEdgeModel is the paper's jump edge cost model: a location that
+// requires a jump block additionally pays the jump instruction's
+// execution count. For initial (seed) sets the jump cost is divided
+// among all callee-saved registers with spill locations on that edge;
+// for sets created during the traversal each instruction is assigned
+// the complete jump cost.
+type JumpEdgeModel struct{}
+
+// LocationCost returns the weight plus any jump-block surcharge.
+func (JumpEdgeModel) LocationCost(l Location, seed bool) int64 {
+	c := l.Weight()
+	if l.NeedsJumpBlock() {
+		if seed {
+			c += l.Weight() / int64(l.sharers())
+		} else {
+			c += l.Weight()
+		}
+	}
+	return c
+}
+
+// Name returns "jump-edge".
+func (JumpEdgeModel) Name() string { return "jump-edge" }
+
+// SetCost is the total cost of a set's locations under the model.
+func SetCost(m CostModel, s *Set) int64 {
+	var c int64
+	for _, l := range s.Saves {
+		c += m.LocationCost(l, s.Seed)
+	}
+	for _, l := range s.Restores {
+		c += m.LocationCost(l, s.Seed)
+	}
+	return c
+}
+
+// TotalCost is the summed cost of several sets.
+func TotalCost(m CostModel, sets []*Set) int64 {
+	var c int64
+	for _, s := range sets {
+		c += SetCost(m, s)
+	}
+	return c
+}
+
+// AssignJumpSharers counts, for every edge carrying OnEdge locations
+// across the given seed sets, how many distinct registers place spill
+// code there, and stamps that count into each location. Call it once
+// after seed construction, before costing with the jump edge model.
+func AssignJumpSharers(sets []*Set) {
+	count := make(map[*ir.Edge]map[ir.Reg]bool)
+	for _, s := range sets {
+		for _, l := range s.Locations() {
+			if l.Kind != OnEdge {
+				continue
+			}
+			m := count[l.Edge]
+			if m == nil {
+				m = make(map[ir.Reg]bool)
+				count[l.Edge] = m
+			}
+			m[s.Reg] = true
+		}
+	}
+	stamp := func(locs []Location) {
+		for i := range locs {
+			if locs[i].Kind == OnEdge {
+				locs[i].JumpSharers = len(count[locs[i].Edge])
+			}
+		}
+	}
+	for _, s := range sets {
+		stamp(s.Saves)
+		stamp(s.Restores)
+	}
+}

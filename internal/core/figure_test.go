@@ -1,0 +1,309 @@
+package core_test
+
+// Tests in this file reproduce the paper's worked example (Figures
+// 2-4) number for number: the shrink-wrap and entry/exit costs of
+// Figure 2, the initial save/restore set costs of Figure 3, and the
+// hierarchical algorithm's decisions and final placements under both
+// cost models (Figure 4a and 4b).
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/ir"
+	"repro/internal/pst"
+	"repro/internal/shrinkwrap"
+	"repro/internal/workload"
+)
+
+func setsFor(sets []*core.Set, reg ir.Reg) []*core.Set {
+	var out []*core.Set
+	for _, s := range sets {
+		if s.Reg == reg {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// locString canonicalizes a set's locations for comparison.
+func hasLoc(locs []core.Location, want string) bool {
+	for _, l := range locs {
+		if l.String() == want {
+			return true
+		}
+	}
+	return false
+}
+
+func TestFigure2EntryExitCost200(t *testing.T) {
+	fig := workload.NewFigure2()
+	sets := core.EntryExit(fig.Func)
+	if err := core.ValidateSets(fig.Func, sets); err != nil {
+		t.Fatalf("entry/exit placement invalid: %v", err)
+	}
+	for _, m := range []core.CostModel{core.ExecCountModel{}, core.JumpEdgeModel{}} {
+		if got := core.TotalCost(m, sets); got != 200 {
+			t.Errorf("entry/exit cost under %s = %d, want 200", m.Name(), got)
+		}
+	}
+}
+
+func TestFigure2ShrinkwrapOriginalCost250(t *testing.T) {
+	fig := workload.NewFigure2()
+	sets := shrinkwrap.Compute(fig.Func, shrinkwrap.Original)
+	if err := core.ValidateSets(fig.Func, sets); err != nil {
+		t.Fatalf("shrink-wrap placement invalid: %v", err)
+	}
+	// Chow's original technique places saves before C, H, K, N and
+	// restores after F, H, K, N (paper: C, G, K, N — the second
+	// allocated block is labeled H in this reconstruction).
+	if got := core.TotalCost(core.ExecCountModel{}, sets); got != 250 {
+		for _, s := range sets {
+			t.Logf("  %v (cost %d)", s, core.SetCost(core.ExecCountModel{}, s))
+		}
+		t.Fatalf("shrink-wrap original cost = %d, want 250", got)
+	}
+	// No location may require a jump block: that is the point of
+	// Chow's artificial data flow.
+	for _, s := range sets {
+		for _, l := range s.Locations() {
+			if l.NeedsJumpBlock() {
+				t.Errorf("original shrink-wrap placed spill code needing a jump block at %v", l)
+			}
+		}
+	}
+	// The D-E web's save must have migrated to the head of C and its
+	// restore to the tail of F.
+	var web1 *core.Set
+	for _, s := range sets {
+		if hasLoc(s.Saves, "head(C)") {
+			web1 = s
+		}
+	}
+	if web1 == nil || !hasLoc(web1.Restores, "tail(F)") {
+		t.Errorf("expected save head(C)/restore tail(F) set, got %v", sets)
+	}
+}
+
+func TestFigure3InitialSets(t *testing.T) {
+	fig := workload.NewFigure2()
+	sets := shrinkwrap.Compute(fig.Func, shrinkwrap.Seed)
+	if err := core.ValidateSets(fig.Func, sets); err != nil {
+		t.Fatalf("seed placement invalid: %v", err)
+	}
+	if len(sets) != 4 {
+		for _, s := range sets {
+			t.Logf("  %v", s)
+		}
+		t.Fatalf("initial sets = %d, want 4", len(sets))
+	}
+	exec := core.ExecCountModel{}
+	jump := core.JumpEdgeModel{}
+
+	// Identify sets by their contents.
+	byCost := map[string]*core.Set{}
+	for _, s := range sets {
+		switch {
+		case hasLoc(s.Saves, "head(D)"):
+			byCost["set1"] = s
+		case hasLoc(s.Saves, "head(H)"):
+			byCost["set2"] = s
+		case hasLoc(s.Saves, "head(K)"):
+			byCost["set3"] = s
+		case hasLoc(s.Saves, "head(N)"):
+			byCost["set4"] = s
+		}
+	}
+	for _, name := range []string{"set1", "set2", "set3", "set4"} {
+		if byCost[name] == nil {
+			t.Fatalf("missing %s among %v", name, sets)
+		}
+	}
+
+	// Paper: Set 1 = 80 (exec), 110 (jump: the D->F restore needs a
+	// jump block costing the edge's 30); Sets 2-4 = 50 in both models.
+	cases := []struct {
+		name      string
+		exec, jmp int64
+	}{
+		{"set1", 80, 110},
+		{"set2", 50, 50},
+		{"set3", 50, 50},
+		{"set4", 50, 50},
+	}
+	for _, c := range cases {
+		s := byCost[c.name]
+		if got := core.SetCost(exec, s); got != c.exec {
+			t.Errorf("%s exec cost = %d, want %d (%v)", c.name, got, c.exec, s)
+		}
+		if got := core.SetCost(jump, s); got != c.jmp {
+			t.Errorf("%s jump cost = %d, want %d (%v)", c.name, got, c.jmp, s)
+		}
+	}
+
+	// Set 1's structure: save head(D), restore tail(E), restore on the
+	// D->F jump edge.
+	s1 := byCost["set1"]
+	if !hasLoc(s1.Restores, "tail(E)") || !hasLoc(s1.Restores, "edge(D->F)") {
+		t.Errorf("set1 restores = %v, want tail(E) and edge(D->F)", s1.Restores)
+	}
+}
+
+// runHSCP builds the PST, seeds with modified shrink-wrapping, and
+// runs the hierarchical algorithm under the given model.
+func runHSCP(t *testing.T, fig *workload.Figure2, m core.CostModel) ([]*core.Set, []core.RegionDecision) {
+	t.Helper()
+	p, err := pst.Build(fig.Func)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seed := shrinkwrap.Compute(fig.Func, shrinkwrap.Seed)
+	final, dec := core.Hierarchical(fig.Func, p, seed, m)
+	if err := core.ValidateSets(fig.Func, final); err != nil {
+		t.Fatalf("hierarchical placement invalid under %s: %v", m.Name(), err)
+	}
+	return final, dec
+}
+
+func TestFigure4aExecCountPlacement(t *testing.T) {
+	fig := workload.NewFigure2()
+	final, dec := runHSCP(t, fig, core.ExecCountModel{})
+
+	// Paper: final cost 190 = Set1 (80) + Set2 (50) + Set5 at Region 3
+	// boundaries (60).
+	if got := core.TotalCost(core.ExecCountModel{}, final); got != 190 {
+		for _, s := range final {
+			t.Logf("  %v (cost %d)", s, core.SetCost(core.ExecCountModel{}, s))
+		}
+		t.Fatalf("exec-count final cost = %d, want 190", got)
+	}
+	if len(final) != 3 {
+		t.Fatalf("final sets = %d, want 3", len(final))
+	}
+	// Set 5 sits at Region 3's boundaries: save head(J), restore tail(O).
+	found := false
+	for _, s := range final {
+		if hasLoc(s.Saves, "head(J)") && hasLoc(s.Restores, "tail(O)") {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("missing Set 5 at Region 3 boundaries; final = %v", final)
+	}
+
+	// Region decisions from the paper: Region 1: 80 vs 100, keep;
+	// Region 2: 130 vs 140, keep; Region 3: 100 vs 60, replace;
+	// Region 4 (root): 190 vs 200, keep.
+	checkDecision(t, dec, "B->C", 80, 100, false)
+	checkDecision(t, dec, "A->B", 130, 140, false)
+	checkDecision(t, dec, "A->J", 100, 60, true)
+	checkDecision(t, dec, "root", 190, 200, false)
+}
+
+func TestFigure4bJumpEdgePlacement(t *testing.T) {
+	fig := workload.NewFigure2()
+	final, dec := runHSCP(t, fig, core.JumpEdgeModel{})
+
+	// Paper: everything collapses to procedure entry/exit, cost 200.
+	if got := core.TotalCost(core.JumpEdgeModel{}, final); got != 200 {
+		for _, s := range final {
+			t.Logf("  %v (cost %d)", s, core.SetCost(core.JumpEdgeModel{}, s))
+		}
+		t.Fatalf("jump-edge final cost = %d, want 200", got)
+	}
+	if len(final) != 1 {
+		t.Fatalf("final sets = %d, want 1 (entry/exit)", len(final))
+	}
+	s := final[0]
+	if !hasLoc(s.Saves, "head(A)") || !hasLoc(s.Restores, "tail(P)") {
+		t.Errorf("final set should be procedure entry/exit, got %v", s)
+	}
+
+	// Paper's decisions: Region 1: 110 vs 100, replace (Set 6);
+	// Region 2: 150 vs 140, replace (Set 7); Region 3: 100 vs 60,
+	// replace (Set 5); root: 200 vs 200, replace (entry/exit).
+	checkDecision(t, dec, "B->C", 110, 100, true)
+	checkDecision(t, dec, "A->B", 150, 140, true)
+	checkDecision(t, dec, "A->J", 100, 60, true)
+	checkDecision(t, dec, "root", 200, 200, true)
+}
+
+// checkDecision finds the decision for the region identified by its
+// entry edge ("From->To", or "root") and checks contained cost,
+// boundary cost, and whether a replacement happened.
+func checkDecision(t *testing.T, dec []core.RegionDecision, region string, contained, boundary int64, replaced bool) {
+	t.Helper()
+	for _, d := range dec {
+		name := "root"
+		if d.Region.EntryEdge != nil {
+			name = d.Region.EntryEdge.From.Name + "->" + d.Region.EntryEdge.To.Name
+		}
+		if name != region {
+			continue
+		}
+		if d.ContainedCost != contained || d.BoundaryCost != boundary || d.Replaced != replaced {
+			t.Errorf("region %s decision = contained %d boundary %d replaced %v, want %d/%d/%v",
+				region, d.ContainedCost, d.BoundaryCost, d.Replaced, contained, boundary, replaced)
+		}
+		return
+	}
+	t.Errorf("no decision recorded for region %s", region)
+}
+
+func TestFigure2NeverWorse(t *testing.T) {
+	// The paper's guarantee: the hierarchical placement never has
+	// greater dynamic overhead than shrink-wrapping or entry/exit.
+	fig := workload.NewFigure2()
+	for _, m := range []core.CostModel{core.ExecCountModel{}, core.JumpEdgeModel{}} {
+		final, _ := runHSCP(t, fig, m)
+		opt := core.TotalCost(m, final)
+		ee := core.TotalCost(m, core.EntryExit(fig.Func))
+		sw := core.TotalCost(m, shrinkwrap.Compute(fig.Func, shrinkwrap.Original))
+		if opt > ee {
+			t.Errorf("%s: optimized %d > entry/exit %d", m.Name(), opt, ee)
+		}
+		if opt > sw {
+			t.Errorf("%s: optimized %d > shrink-wrap %d", m.Name(), opt, sw)
+		}
+	}
+}
+
+func TestFigure1ProfileSensitivity(t *testing.T) {
+	// Chow's Figure 1: shrink-wrapping wins when the shaded blocks are
+	// cold, loses when they are hot; the hierarchical algorithm picks
+	// whichever is better in both cases.
+	exec := core.ExecCountModel{}
+
+	cold := workload.NewFigure1(10, 20) // avg 15 < 100
+	swCold := core.TotalCost(exec, shrinkwrap.Compute(cold.Func, shrinkwrap.Original))
+	eeCold := core.TotalCost(exec, core.EntryExit(cold.Func))
+	if swCold >= eeCold {
+		t.Errorf("cold blocks: shrink-wrap %d should beat entry/exit %d", swCold, eeCold)
+	}
+
+	hot := workload.NewFigure1(95, 90) // avg 92.5, 2*(95+90) > 200
+	swHot := core.TotalCost(exec, shrinkwrap.Compute(hot.Func, shrinkwrap.Original))
+	eeHot := core.TotalCost(exec, core.EntryExit(hot.Func))
+	if swHot <= eeHot {
+		t.Errorf("hot blocks: entry/exit %d should beat shrink-wrap %d", eeHot, swHot)
+	}
+
+	for _, fig := range []*workload.Figure1{cold, hot} {
+		p, err := pst.Build(fig.Func)
+		if err != nil {
+			t.Fatal(err)
+		}
+		seed := shrinkwrap.Compute(fig.Func, shrinkwrap.Seed)
+		final, _ := core.Hierarchical(fig.Func, p, seed, exec)
+		if err := core.ValidateSets(fig.Func, final); err != nil {
+			t.Fatalf("invalid placement: %v", err)
+		}
+		opt := core.TotalCost(exec, final)
+		sw := core.TotalCost(exec, shrinkwrap.Compute(fig.Func, shrinkwrap.Original))
+		ee := core.TotalCost(exec, core.EntryExit(fig.Func))
+		if opt > sw || opt > ee {
+			t.Errorf("hierarchical %d worse than min(shrink-wrap %d, entry/exit %d)", opt, sw, ee)
+		}
+	}
+}

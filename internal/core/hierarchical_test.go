@@ -1,0 +1,159 @@
+package core_test
+
+import (
+	"testing"
+
+	"repro/internal/cfgtest"
+	"repro/internal/core"
+	"repro/internal/ir"
+	"repro/internal/pst"
+	"repro/internal/shrinkwrap"
+	"repro/internal/workload"
+)
+
+func TestHierarchicalEmptySeed(t *testing.T) {
+	f := cfgtest.MustBuild("empty",
+		[]string{"A", "B"},
+		[]cfgtest.Edge{cfgtest.E("A", "B", 1)})
+	f.UsedCalleeSaved = []ir.Reg{ir.Phys(11)}
+	tr, err := pst.Build(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	final, dec := core.Hierarchical(f, tr, nil, core.ExecCountModel{})
+	if len(final) != 0 || len(dec) != 0 {
+		t.Errorf("empty seed should stay empty: %v %v", final, dec)
+	}
+}
+
+func TestHierarchicalSeedNotMutated(t *testing.T) {
+	fig := workload.NewFigure2()
+	f := fig.Func
+	tr, err := pst.Build(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seed := shrinkwrap.Compute(f, shrinkwrap.Seed)
+	before := make([]string, len(seed))
+	for i, s := range seed {
+		before[i] = s.String()
+	}
+	core.Hierarchical(f, tr, seed, core.JumpEdgeModel{})
+	for i, s := range seed {
+		if s.String() != before[i] {
+			t.Errorf("seed set %d mutated: %q -> %q", i, before[i], s.String())
+		}
+	}
+}
+
+func TestHierarchicalTwoRegistersIndependent(t *testing.T) {
+	// Two registers with different webs on the figure CFG: r12 in the
+	// cold interior (Region 3), r13 hot near the entry. Decisions for
+	// one register must not disturb the other.
+	fig := workload.NewFigure2()
+	f := fig.Func
+	r13 := ir.Phys(13)
+	f.UsedCalleeSaved = append(f.UsedCalleeSaved, r13)
+	workload.AllocateGroup(f, r13, "K")
+
+	tr, err := pst.Build(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seed := shrinkwrap.Compute(f, shrinkwrap.Seed)
+	final, _ := core.Hierarchical(f, tr, seed, core.ExecCountModel{})
+	if err := core.ValidateSets(f, final); err != nil {
+		t.Fatalf("two-register placement invalid: %v", err)
+	}
+	// r12's result is the same as in the single-register test (190);
+	// r13's web in K costs 50 and stays put (Region 3 boundary would
+	// cost 60 for it alone).
+	var c12, c13 int64
+	for _, s := range final {
+		c := core.SetCost(core.ExecCountModel{}, s)
+		if s.Reg == fig.Reg {
+			c12 += c
+		} else {
+			c13 += c
+		}
+	}
+	if c12 != 190 {
+		t.Errorf("r12 cost = %d, want 190 (unchanged by r13)", c12)
+	}
+	if c13 != 50 {
+		t.Errorf("r13 cost = %d, want 50 (kept at its web)", c13)
+	}
+}
+
+func TestHierarchicalZeroWeights(t *testing.T) {
+	// All-zero profile: every placement costs 0, replacements happen
+	// at every region (0 <= 0), and the result must still validate.
+	f := cfgtest.MustBuild("zero",
+		[]string{"A", "B", "C", "D"},
+		[]cfgtest.Edge{
+			cfgtest.E("A", "B", 0), cfgtest.E("A", "C", 0),
+			cfgtest.E("B", "D", 0), cfgtest.E("C", "D", 0),
+		})
+	f.EntryCount = 0
+	reg := ir.Phys(11)
+	f.UsedCalleeSaved = []ir.Reg{reg}
+	workload.AllocateGroup(f, reg, "B")
+
+	tr, err := pst.Build(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seed := shrinkwrap.Compute(f, shrinkwrap.Seed)
+	final, _ := core.Hierarchical(f, tr, seed, core.JumpEdgeModel{})
+	if err := core.ValidateSets(f, final); err != nil {
+		t.Errorf("zero-weight placement invalid: %v", err)
+	}
+	if len(final) == 0 {
+		t.Error("placement disappeared")
+	}
+}
+
+func TestDecisionsRecordEveryConsideredRegion(t *testing.T) {
+	fig := workload.NewFigure2()
+	f := fig.Func
+	tr, err := pst.Build(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seed := shrinkwrap.Compute(f, shrinkwrap.Seed)
+	_, dec := core.Hierarchical(f, tr, seed, core.ExecCountModel{})
+	// Regions with no contained sets ({E}) are skipped; the {N} leaf
+	// region, R1, R2, R3 and the root each record one decision for the
+	// single register.
+	if len(dec) != 5 {
+		for _, d := range dec {
+			t.Logf("  %v %v %d/%d %v", d.Region, d.Reg, d.ContainedCost, d.BoundaryCost, d.Replaced)
+		}
+		t.Errorf("decisions = %d, want 5", len(dec))
+	}
+	for _, d := range dec {
+		if d.Reg != fig.Reg {
+			t.Errorf("decision for wrong register %v", d.Reg)
+		}
+	}
+}
+
+func TestEntryExitMultiExit(t *testing.T) {
+	f := cfgtest.MustBuild("mx",
+		[]string{"A", "B", "C"},
+		[]cfgtest.Edge{cfgtest.E("A", "B", 40), cfgtest.E("A", "C", 60)})
+	f.UsedCalleeSaved = []ir.Reg{ir.Phys(11), ir.Phys(12)}
+	sets := core.EntryExit(f)
+	if len(sets) != 2 {
+		t.Fatalf("sets = %d, want 2", len(sets))
+	}
+	for _, s := range sets {
+		if len(s.Saves) != 1 || len(s.Restores) != 2 {
+			t.Errorf("set %v: want 1 save, 2 restores", s)
+		}
+	}
+	// Cost: save 100 + restores 40+60 per register.
+	if got := core.TotalCost(core.ExecCountModel{}, sets); got != 400 {
+		t.Errorf("cost = %d, want 400", got)
+	}
+}

@@ -1,0 +1,117 @@
+package core_test
+
+import (
+	"testing"
+
+	"repro/internal/cfgtest"
+	"repro/internal/core"
+	"repro/internal/ir"
+	"repro/internal/pst"
+	"repro/internal/shrinkwrap"
+	"repro/internal/workload"
+)
+
+// TestIrreducibleCFG: cycle equivalence is defined on arbitrary
+// graphs, so the PST must handle irreducible control flow (a cycle
+// with two entries), which structured-language tools often reject.
+func TestIrreducibleCFG(t *testing.T) {
+	f := cfgtest.MustBuild("irr",
+		[]string{"A", "B", "C", "X"},
+		[]cfgtest.Edge{
+			cfgtest.E("A", "B", 30), cfgtest.E("A", "C", 70),
+			cfgtest.E("B", "C", 40), cfgtest.E("C", "B", 50),
+			cfgtest.E("B", "X", 40),
+		})
+	p, err := pst.Build(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Root == nil || len(p.Root.Blocks) != 4 {
+		t.Fatalf("bad root on irreducible CFG: %v", p.Root)
+	}
+	// The two-entry cycle admits no interior SESE region: B and C each
+	// have multiple entries, so only the root remains.
+	if len(p.Regions) != 1 {
+		for _, r := range p.Regions {
+			t.Logf("  %v", r)
+		}
+		t.Errorf("regions = %d, want 1 (root only)", len(p.Regions))
+	}
+}
+
+// TestIrreduciblePlacement: the full placement stack still works on
+// irreducible flow — the seed, Chow's original, entry/exit and the
+// hierarchical algorithm all validate.
+func TestIrreduciblePlacement(t *testing.T) {
+	f := cfgtest.MustBuild("irr2",
+		[]string{"A", "B", "C", "X"},
+		[]cfgtest.Edge{
+			cfgtest.E("A", "B", 30), cfgtest.E("A", "C", 70),
+			cfgtest.E("B", "C", 40), cfgtest.E("C", "B", 50),
+			cfgtest.E("B", "X", 40),
+		})
+	reg := ir.Phys(12)
+	f.UsedCalleeSaved = []ir.Reg{reg}
+	workload.AllocateGroup(f, reg, "C")
+
+	tr, err := pst.Build(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seed := shrinkwrap.Compute(f, shrinkwrap.Seed)
+	if err := core.ValidateSets(f, seed); err != nil {
+		t.Errorf("seed invalid on irreducible CFG: %v", err)
+	}
+	if err := core.ValidateSets(f, shrinkwrap.Compute(f, shrinkwrap.Original)); err != nil {
+		t.Errorf("original invalid on irreducible CFG: %v", err)
+	}
+	final, _ := core.Hierarchical(f, tr, seed, core.JumpEdgeModel{})
+	if err := core.ValidateSets(f, final); err != nil {
+		t.Errorf("hierarchical invalid on irreducible CFG: %v", err)
+	}
+	opt := core.TotalCost(core.JumpEdgeModel{}, final)
+	ee := core.TotalCost(core.JumpEdgeModel{}, core.EntryExit(f))
+	if opt > ee {
+		t.Errorf("hierarchical %d > entry/exit %d on irreducible CFG", opt, ee)
+	}
+}
+
+// TestMultiExitEndToEnd: functions with several return blocks work
+// through PST construction and placement; the root restores at every
+// exit.
+func TestMultiExitEndToEnd(t *testing.T) {
+	f := cfgtest.MustBuild("mx",
+		[]string{"A", "B", "C", "D"},
+		[]cfgtest.Edge{
+			cfgtest.E("A", "B", 20), cfgtest.E("A", "C", 80),
+			cfgtest.E("B", "D", 20),
+			// C and D are both exits.
+		})
+	reg := ir.Phys(12)
+	f.UsedCalleeSaved = []ir.Reg{reg}
+	workload.AllocateGroup(f, reg, "B")
+
+	tr, err := pst.Build(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := tr.Root.ExitWeight(f); got != 100 {
+		t.Errorf("root exit weight = %d, want 100 (both exits)", got)
+	}
+	seed := shrinkwrap.Compute(f, shrinkwrap.Seed)
+	final, _ := core.Hierarchical(f, tr, seed, core.ExecCountModel{})
+	if err := core.ValidateSets(f, final); err != nil {
+		t.Fatal(err)
+	}
+	// The cold B web (cost 40) stays put rather than paying 100+100
+	// at procedure boundaries.
+	if got := core.TotalCost(core.ExecCountModel{}, final); got != 40 {
+		t.Errorf("cost = %d, want 40", got)
+	}
+	if err := core.Apply(f, final); err != nil {
+		t.Fatal(err)
+	}
+	if err := ir.Verify(f); err != nil {
+		t.Fatal(err)
+	}
+}

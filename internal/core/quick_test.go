@@ -1,0 +1,118 @@
+package core_test
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/cfgtest"
+	"repro/internal/core"
+	"repro/internal/ir"
+	"repro/internal/pst"
+	"repro/internal/shrinkwrap"
+	"repro/internal/workload"
+)
+
+// randomAllocated builds a random structured CFG and allocates a
+// callee-saved register in a few random blocks (single-block webs).
+func randomAllocated(seed uint64) *ir.Func {
+	f := cfgtest.RandomStructured(seed, 3)
+	reg := ir.Phys(12)
+	f.UsedCalleeSaved = []ir.Reg{reg}
+	// Pick up to three non-entry blocks deterministically from the seed.
+	s := seed
+	picked := 0
+	for i := 0; i < len(f.Blocks) && picked < 3; i++ {
+		s = s*6364136223846793005 + 1442695040888963407
+		b := f.Blocks[int(s>>33)%len(f.Blocks)]
+		if b == f.Entry || b.IsExit() {
+			continue
+		}
+		workload.AllocateGroup(f, reg, b.Name)
+		picked++
+	}
+	if picked == 0 {
+		workload.AllocateGroup(f, reg, f.Blocks[len(f.Blocks)/2].Name)
+	}
+	return f
+}
+
+// TestQuickPlacementInvariants: on random CFGs with random allocation,
+// every strategy validates and the hierarchical result is never worse,
+// under both cost models.
+func TestQuickPlacementInvariants(t *testing.T) {
+	check := func(seed uint64) bool {
+		f := randomAllocated(seed)
+		tr, err := pst.Build(f)
+		if err != nil {
+			t.Logf("seed %x: pst: %v", seed, err)
+			return false
+		}
+		seedSets := shrinkwrap.Compute(f, shrinkwrap.Seed)
+		if err := core.ValidateSets(f, seedSets); err != nil {
+			t.Logf("seed %x: seed invalid: %v", seed, err)
+			return false
+		}
+		orig := shrinkwrap.Compute(f, shrinkwrap.Original)
+		if err := core.ValidateSets(f, orig); err != nil {
+			t.Logf("seed %x: original invalid: %v", seed, err)
+			return false
+		}
+		for _, l := range locations(orig) {
+			if l.NeedsJumpBlock() {
+				t.Logf("seed %x: original shrink-wrap used a jump edge at %v", seed, l)
+				return false
+			}
+		}
+		ee := core.EntryExit(f)
+		for _, m := range []core.CostModel{core.ExecCountModel{}, core.JumpEdgeModel{}} {
+			final, _ := core.Hierarchical(f, tr, seedSets, m)
+			if err := core.ValidateSets(f, final); err != nil {
+				t.Logf("seed %x: hierarchical(%s) invalid: %v", seed, m.Name(), err)
+				return false
+			}
+			opt := core.TotalCost(m, final)
+			if opt > core.TotalCost(m, ee) || opt > core.TotalCost(m, orig) || opt > core.TotalCost(m, seedSets) {
+				t.Logf("seed %x: %s not minimal among techniques", seed, m.Name())
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func locations(sets []*core.Set) []core.Location {
+	var out []core.Location
+	for _, s := range sets {
+		out = append(out, s.Locations()...)
+	}
+	return out
+}
+
+// TestQuickApplyVerifies: applying the hierarchical placement to a
+// random CFG always leaves a structurally valid function.
+func TestQuickApplyVerifies(t *testing.T) {
+	check := func(seed uint64) bool {
+		f := randomAllocated(seed)
+		tr, err := pst.Build(f)
+		if err != nil {
+			return false
+		}
+		seedSets := shrinkwrap.Compute(f, shrinkwrap.Seed)
+		final, _ := core.Hierarchical(f, tr, seedSets, core.JumpEdgeModel{})
+		if err := core.Apply(f, final); err != nil {
+			t.Logf("seed %x: apply: %v", seed, err)
+			return false
+		}
+		if err := ir.Verify(f); err != nil {
+			t.Logf("seed %x: verify: %v", seed, err)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,59 @@
+package core
+
+import "fmt"
+
+// StaticAwareModel extends the jump edge cost model with a static
+// overhead term, an extension the paper scopes out ("static overhead
+// reduction is not a goal of the algorithm presented in this paper").
+// Each location pays its dynamic cost plus StaticWeight per inserted
+// instruction (counting the jump instruction of a jump block). With
+// StaticWeight 0 it coincides with JumpEdgeModel; as StaticWeight
+// grows, placements with fewer instructions — ultimately entry/exit
+// placement, the static minimum — win.
+type StaticAwareModel struct {
+	// StaticWeight is the cost charged per inserted instruction.
+	StaticWeight int64
+}
+
+// LocationCost returns dynamic cost plus the static surcharge.
+func (m StaticAwareModel) LocationCost(l Location, seed bool) int64 {
+	c := (JumpEdgeModel{}).LocationCost(l, seed)
+	c += m.StaticWeight
+	if l.NeedsJumpBlock() {
+		// The jump block's jump instruction is also a static cost; for
+		// seed sets it is shared like its dynamic counterpart.
+		if seed {
+			c += m.StaticWeight / int64(l.sharers())
+		} else {
+			c += m.StaticWeight
+		}
+	}
+	return c
+}
+
+// Name identifies the model.
+func (m StaticAwareModel) Name() string {
+	return fmt.Sprintf("static-aware(%d)", m.StaticWeight)
+}
+
+// StaticCount returns the number of instructions a placement inserts:
+// one per save/restore location plus one jump per distinct jump-block
+// edge. It is the quantity StaticAwareModel trades against dynamic
+// overhead.
+func StaticCount(sets []*Set) int64 {
+	var n int64
+	jumpEdges := map[string]bool{}
+	for _, s := range sets {
+		for _, l := range s.Locations() {
+			n++
+			if l.NeedsJumpBlock() {
+				key := l.Edge.From.Name + "->" + l.Edge.To.Name
+				if !jumpEdges[key] {
+					jumpEdges[key] = true
+					n++
+				}
+			}
+		}
+	}
+	return n
+}

@@ -1,0 +1,224 @@
+package dataflow
+
+import (
+	"repro/internal/ir"
+)
+
+// regIndex maps registers (physical and virtual) to dense indices for
+// bit vectors: physical registers keep their numbers, virtual register
+// k maps to int(ir.VirtBase) + k.
+func regIndex(r ir.Reg) int { return int(r) }
+
+// Universe returns the bit-vector universe size for a function: large
+// enough for all physical registers and the function's virtuals.
+func Universe(f *ir.Func) int { return int(ir.VirtBase) + f.NumVirt }
+
+// Liveness holds per-block live-in/live-out register sets.
+type Liveness struct {
+	In  []*BitSet // indexed by block ID
+	Out []*BitSet
+	use []*BitSet
+	def []*BitSet
+	n   int
+}
+
+// ComputeLiveness runs backward liveness over all registers. Calls are
+// treated as using their argument registers and defining their result
+// register; post-allocation callers should use machine-aware variants
+// that add clobbers (see regalloc).
+func ComputeLiveness(f *ir.Func) *Liveness {
+	n := Universe(f)
+	lv := &Liveness{n: n}
+	nb := len(f.Blocks)
+	lv.In = make([]*BitSet, nb)
+	lv.Out = make([]*BitSet, nb)
+	lv.use = make([]*BitSet, nb)
+	lv.def = make([]*BitSet, nb)
+	var buf []ir.Reg
+	for _, b := range f.Blocks {
+		use, def := NewBitSet(n), NewBitSet(n)
+		for _, in := range b.Instrs {
+			buf = in.Uses(buf[:0])
+			for _, u := range buf {
+				if !def.Has(regIndex(u)) {
+					use.Set(regIndex(u))
+				}
+			}
+			if d := in.Def(); d.IsValid() {
+				def.Set(regIndex(d))
+			}
+		}
+		lv.use[b.ID], lv.def[b.ID] = use, def
+		lv.In[b.ID] = NewBitSet(n)
+		lv.Out[b.ID] = NewBitSet(n)
+	}
+	// Iterate to fixpoint in postorder (backward problem).
+	post := postorder(f)
+	changed := true
+	tmp := NewBitSet(n)
+	for changed {
+		changed = false
+		for _, b := range post {
+			out := lv.Out[b.ID]
+			for _, e := range b.Succs {
+				if out.Union(lv.In[e.To.ID]) {
+					changed = true
+				}
+			}
+			// in = use ∪ (out - def)
+			tmp.CopyFrom(out)
+			tmp.Subtract(lv.def[b.ID])
+			tmp.Union(lv.use[b.ID])
+			if !tmp.Equal(lv.In[b.ID]) {
+				lv.In[b.ID].CopyFrom(tmp)
+				changed = true
+			}
+		}
+	}
+	return lv
+}
+
+// LiveAt returns the set of registers live immediately before each
+// instruction of block b, as a slice parallel to b.Instrs. The slice
+// at index i is valid only until the next call reuses buffers; callers
+// needing persistence should Clone.
+func (lv *Liveness) LiveAt(b *ir.Block) []*BitSet {
+	out := make([]*BitSet, len(b.Instrs))
+	cur := lv.Out[b.ID].Clone()
+	var buf []ir.Reg
+	for i := len(b.Instrs) - 1; i >= 0; i-- {
+		in := b.Instrs[i]
+		if d := in.Def(); d.IsValid() {
+			cur.Clear(regIndex(d))
+		}
+		buf = in.Uses(buf[:0])
+		for _, u := range buf {
+			cur.Set(regIndex(u))
+		}
+		out[i] = cur.Clone()
+	}
+	return out
+}
+
+func postorder(f *ir.Func) []*ir.Block {
+	seen := make([]bool, len(f.Blocks))
+	var out []*ir.Block
+	var dfs func(b *ir.Block)
+	dfs = func(b *ir.Block) {
+		seen[b.ID] = true
+		for _, e := range b.Succs {
+			if !seen[e.To.ID] {
+				dfs(e.To)
+			}
+		}
+		out = append(out, b)
+	}
+	dfs(f.Entry)
+	return out
+}
+
+// Problem describes a generic forward or backward bit-vector dataflow
+// problem over blocks. Transfer must compute out from in (forward) or
+// in from out (backward) for one block.
+type Problem struct {
+	// Forward selects the direction.
+	Forward bool
+	// Union selects the meet: true for may (union), false for must
+	// (intersection).
+	Union bool
+	// Universe is the bit-vector width.
+	Universe int
+	// Init seeds the block's starting value (both In and Out start as
+	// a copy of it). Boundary blocks are typically seeded differently
+	// by the caller after Solve via Boundary.
+	Init func(b *ir.Block, v *BitSet)
+	// Transfer applies the block's effect to v in place.
+	Transfer func(b *ir.Block, v *BitSet)
+	// Boundary, if non-nil, pins the entry value of boundary blocks
+	// (entry for forward problems, exits for backward) before each
+	// pass.
+	Boundary func(b *ir.Block, v *BitSet)
+}
+
+// Solution holds per-block In/Out sets of a solved Problem.
+type Solution struct {
+	In, Out []*BitSet
+}
+
+// Solve iterates the problem to a fixpoint.
+func Solve(f *ir.Func, p *Problem) *Solution {
+	nb := len(f.Blocks)
+	s := &Solution{In: make([]*BitSet, nb), Out: make([]*BitSet, nb)}
+	for _, b := range f.Blocks {
+		s.In[b.ID] = NewBitSet(p.Universe)
+		s.Out[b.ID] = NewBitSet(p.Universe)
+		if p.Init != nil {
+			p.Init(b, s.In[b.ID])
+			s.Out[b.ID].CopyFrom(s.In[b.ID])
+		}
+	}
+	order := postorder(f)
+	if p.Forward {
+		// reverse postorder
+		for i, j := 0, len(order)-1; i < j; i, j = i+1, j-1 {
+			order[i], order[j] = order[j], order[i]
+		}
+	}
+	tmp := NewBitSet(p.Universe)
+	changed := true
+	for changed {
+		changed = false
+		for _, b := range order {
+			if p.Forward {
+				in := s.In[b.ID]
+				if len(b.Preds) > 0 {
+					first := true
+					for _, e := range b.Preds {
+						if first {
+							in.CopyFrom(s.Out[e.From.ID])
+							first = false
+						} else if p.Union {
+							in.Union(s.Out[e.From.ID])
+						} else {
+							in.Intersect(s.Out[e.From.ID])
+						}
+					}
+				}
+				if p.Boundary != nil && b == f.Entry {
+					p.Boundary(b, in)
+				}
+				tmp.CopyFrom(in)
+				p.Transfer(b, tmp)
+				if !tmp.Equal(s.Out[b.ID]) {
+					s.Out[b.ID].CopyFrom(tmp)
+					changed = true
+				}
+			} else {
+				out := s.Out[b.ID]
+				if len(b.Succs) > 0 {
+					first := true
+					for _, e := range b.Succs {
+						if first {
+							out.CopyFrom(s.In[e.To.ID])
+							first = false
+						} else if p.Union {
+							out.Union(s.In[e.To.ID])
+						} else {
+							out.Intersect(s.In[e.To.ID])
+						}
+					}
+				}
+				if p.Boundary != nil && b.IsExit() {
+					p.Boundary(b, out)
+				}
+				tmp.CopyFrom(out)
+				p.Transfer(b, tmp)
+				if !tmp.Equal(s.In[b.ID]) {
+					s.In[b.ID].CopyFrom(tmp)
+					changed = true
+				}
+			}
+		}
+	}
+	return s
+}

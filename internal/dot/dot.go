@@ -1,0 +1,115 @@
+// Package dot renders control flow graphs and program structure trees
+// in Graphviz DOT format, for inspecting placements and region
+// structure (`spillopt -dot`, `irrun`-adjacent tooling, debugging).
+package dot
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/ir"
+	"repro/internal/pst"
+)
+
+// CFG renders the function's control flow graph. Jump edges are
+// dashed; edge labels carry profile weights; blocks holding overhead
+// instructions (spill code, saves/restores, jump-block jumps) are
+// highlighted.
+func CFG(f *ir.Func) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "digraph %q {\n", f.Name)
+	b.WriteString("  node [shape=box, fontname=\"monospace\"];\n")
+	for _, blk := range f.Blocks {
+		attrs := ""
+		if hasOverhead(blk) {
+			attrs = ", style=filled, fillcolor=lightyellow"
+		}
+		var label strings.Builder
+		fmt.Fprintf(&label, "%s\\n", blk.Name)
+		for _, in := range blk.Instrs {
+			if in.IsOverhead() {
+				fmt.Fprintf(&label, "%s\\l", in)
+			}
+		}
+		fmt.Fprintf(&b, "  %q [label=\"%s\"%s];\n", blk.Name, label.String(), attrs)
+	}
+	for _, e := range f.Edges() {
+		style := "solid"
+		if e.Kind == ir.Jump {
+			style = "dashed"
+		}
+		fmt.Fprintf(&b, "  %q -> %q [label=\"%d\", style=%s];\n",
+			e.From.Name, e.To.Name, e.Weight, style)
+	}
+	b.WriteString("}\n")
+	return b.String()
+}
+
+func hasOverhead(b *ir.Block) bool {
+	for _, in := range b.Instrs {
+		if in.IsOverhead() {
+			return true
+		}
+	}
+	return false
+}
+
+// PST renders the program structure tree as nested clusters over the
+// CFG nodes, showing region boundaries and their costs.
+func PST(f *ir.Func, t *pst.PST) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "digraph %q {\n", f.Name+".pst")
+	b.WriteString("  compound=true;\n  node [shape=box, fontname=\"monospace\"];\n")
+	emitted := make(map[*ir.Block]bool)
+	var walk func(r *pst.Region, depth int)
+	id := 0
+	walk = func(r *pst.Region, depth int) {
+		indent := strings.Repeat("  ", depth+1)
+		id++
+		fmt.Fprintf(&b, "%ssubgraph cluster_%d {\n", indent, id)
+		fmt.Fprintf(&b, "%s  label=\"%s (boundary %d)\";\n", indent,
+			regionLabel(r), r.EntryWeight(f)+r.ExitWeight(f))
+		for _, c := range r.Children {
+			walk(c, depth+1)
+		}
+		// Blocks belonging to r but to none of its children.
+		for _, blk := range r.Blocks {
+			inChild := false
+			for _, c := range r.Children {
+				if c.ContainsBlock(blk) {
+					inChild = true
+					break
+				}
+			}
+			if !inChild && !emitted[blk] {
+				emitted[blk] = true
+				fmt.Fprintf(&b, "%s  %q;\n", indent, blk.Name)
+			}
+		}
+		fmt.Fprintf(&b, "%s}\n", indent)
+	}
+	walk(t.Root, 0)
+	for _, e := range f.Edges() {
+		fmt.Fprintf(&b, "  %q -> %q [label=\"%d\"];\n", e.From.Name, e.To.Name, e.Weight)
+	}
+	b.WriteString("}\n")
+	return b.String()
+}
+
+func regionLabel(r *pst.Region) string {
+	if r.IsRoot() {
+		return "procedure"
+	}
+	entry := "entry"
+	if r.EntryEdge != nil {
+		entry = r.EntryEdge.From.Name + "->" + r.EntryEdge.To.Name
+	}
+	exit := "exit"
+	switch {
+	case r.ExitEdge != nil:
+		exit = r.ExitEdge.From.Name + "->" + r.ExitEdge.To.Name
+	case r.ExitBlock != nil:
+		exit = "end-of-" + r.ExitBlock.Name
+	}
+	return entry + " .. " + exit
+}

@@ -1,0 +1,63 @@
+package dot
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/pst"
+	"repro/internal/shrinkwrap"
+	"repro/internal/workload"
+)
+
+func TestCFGDot(t *testing.T) {
+	fig := workload.NewFigure2()
+	f := fig.Func
+
+	// Apply a placement so overhead highlighting has something to show.
+	seed := shrinkwrap.Compute(f, shrinkwrap.Seed)
+	if err := core.Apply(f, seed); err != nil {
+		t.Fatal(err)
+	}
+	out := CFG(f)
+	for _, want := range []string{
+		"digraph \"figure2\"",
+		"\"A\" -> \"B\" [label=\"70\", style=solid]",
+		"\"A\" -> \"J\" [label=\"30\", style=dashed]", // jump edge
+		"fillcolor=lightyellow",                       // block with spill code
+		"save 0, r12",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("CFG dot missing %q", want)
+		}
+	}
+	if !strings.HasSuffix(strings.TrimSpace(out), "}") {
+		t.Error("unbalanced output")
+	}
+}
+
+func TestPSTDot(t *testing.T) {
+	fig := workload.NewFigure2()
+	f := fig.Func
+	tr, err := pst.Build(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := PST(f, tr)
+	for _, want := range []string{
+		"procedure (boundary 200)",
+		"B->C .. F->G (boundary 100)",
+		"A->J .. O->P (boundary 60)",
+		"subgraph cluster_",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("PST dot missing %q\n%s", want, out)
+		}
+	}
+	// Every block appears exactly once inside the clusters.
+	for _, b := range f.Blocks {
+		if n := strings.Count(out, "\""+b.Name+"\";"); n != 1 {
+			t.Errorf("block %s emitted %d times, want 1", b.Name, n)
+		}
+	}
+}

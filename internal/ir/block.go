@@ -1,0 +1,137 @@
+package ir
+
+import "fmt"
+
+// EdgeKind classifies a control flow edge per the paper's definition:
+// a jump edge is initiated by a control flow instruction whose target
+// is not the next sequential instruction; a fall-through edge reaches
+// the next block in layout order.
+type EdgeKind uint8
+
+const (
+	// FallThrough edges reach the lexically next block; spill code for
+	// them can sit at the end of the source or head of the target.
+	FallThrough EdgeKind = iota
+	// Jump edges require a jump block if spill code must live on them.
+	Jump
+)
+
+// String returns "fall" or "jump".
+func (k EdgeKind) String() string {
+	if k == Jump {
+		return "jump"
+	}
+	return "fall"
+}
+
+// Edge is a directed control flow edge with a profile weight.
+type Edge struct {
+	From, To *Block
+	Kind     EdgeKind
+	// Weight is the dynamic execution count of the edge, from profiling.
+	Weight int64
+}
+
+// String renders the edge as From->To(kind,weight).
+func (e *Edge) String() string {
+	return fmt.Sprintf("%s->%s(%v,%d)", e.From.Name, e.To.Name, e.Kind, e.Weight)
+}
+
+// Block is a basic block: straight-line instructions ending in a
+// terminator, plus explicit predecessor and successor edge lists.
+type Block struct {
+	ID     int    // dense index within Func.Blocks
+	Name   string // unique within the function
+	Func   *Func
+	Instrs []*Instr
+
+	// Succs and Preds share Edge values: the edge From->To appears in
+	// From.Succs and To.Preds.
+	Succs []*Edge
+	Preds []*Edge
+}
+
+// Terminator returns the block's final instruction, or nil if the
+// block is empty or does not yet end in a terminator.
+func (b *Block) Terminator() *Instr {
+	if len(b.Instrs) == 0 {
+		return nil
+	}
+	last := b.Instrs[len(b.Instrs)-1]
+	if !last.Op.IsTerminator() {
+		return nil
+	}
+	return last
+}
+
+// Append adds an instruction to the end of the block.
+func (b *Block) Append(in *Instr) { b.Instrs = append(b.Instrs, in) }
+
+// InsertBefore inserts instruction in at index i.
+func (b *Block) InsertBefore(i int, in *Instr) {
+	b.Instrs = append(b.Instrs, nil)
+	copy(b.Instrs[i+1:], b.Instrs[i:])
+	b.Instrs[i] = in
+}
+
+// InsertAtHead inserts the instruction as the first in the block.
+func (b *Block) InsertAtHead(in *Instr) { b.InsertBefore(0, in) }
+
+// InsertBeforeTerminator inserts the instruction just before the
+// block's terminator, or at the end if there is none.
+func (b *Block) InsertBeforeTerminator(in *Instr) {
+	if t := b.Terminator(); t != nil {
+		b.InsertBefore(len(b.Instrs)-1, in)
+		return
+	}
+	b.Append(in)
+}
+
+// SuccEdge returns the edge from b to t, or nil.
+func (b *Block) SuccEdge(t *Block) *Edge {
+	for _, e := range b.Succs {
+		if e.To == t {
+			return e
+		}
+	}
+	return nil
+}
+
+// PredEdge returns the edge from f to b, or nil.
+func (b *Block) PredEdge(f *Block) *Edge {
+	for _, e := range b.Preds {
+		if e.From == f {
+			return e
+		}
+	}
+	return nil
+}
+
+// ExecCount returns the block's dynamic execution count: the sum of
+// incoming edge weights, or of outgoing weights for the entry block.
+func (b *Block) ExecCount() int64 {
+	if len(b.Preds) == 0 {
+		var n int64
+		for _, e := range b.Succs {
+			n += e.Weight
+		}
+		if n == 0 && b.Func != nil && b == b.Func.Entry {
+			return b.Func.EntryCount
+		}
+		return n
+	}
+	var n int64
+	for _, e := range b.Preds {
+		n += e.Weight
+	}
+	return n
+}
+
+// IsExit reports whether the block ends the procedure.
+func (b *Block) IsExit() bool {
+	t := b.Terminator()
+	return t != nil && t.Op == OpRet
+}
+
+// String returns the block name.
+func (b *Block) String() string { return b.Name }

@@ -1,0 +1,118 @@
+package ir
+
+// Builder provides a convenient way to construct functions block by
+// block. It tracks a current block and wires terminators and CFG edges
+// together so they cannot disagree.
+type Builder struct {
+	F   *Func
+	cur *Block
+}
+
+// NewBuilder returns a builder for a fresh function with the given
+// name and parameter count. Parameters are assigned the first virtual
+// registers.
+func NewBuilder(name string, nparams int) *Builder {
+	f := NewFunc(name)
+	for i := 0; i < nparams; i++ {
+		f.Params = append(f.Params, f.NewVirt())
+	}
+	return &Builder{F: f}
+}
+
+// Block creates (or switches to) the named block and makes it current.
+func (bu *Builder) Block(name string) *Block {
+	if b := bu.F.BlockByName(name); b != nil {
+		bu.cur = b
+		return b
+	}
+	b := bu.F.NewBlock(name)
+	bu.cur = b
+	return b
+}
+
+// Current returns the block under construction.
+func (bu *Builder) Current() *Block { return bu.cur }
+
+// SetCurrent switches the builder to b.
+func (bu *Builder) SetCurrent(b *Block) { bu.cur = b }
+
+// Emit appends an instruction to the current block.
+func (bu *Builder) Emit(in *Instr) *Instr {
+	bu.cur.Append(in)
+	return in
+}
+
+// Const emits dst = const imm into a fresh virtual register.
+func (bu *Builder) Const(imm int64) Reg {
+	dst := bu.F.NewVirt()
+	bu.Emit(&Instr{Op: OpConst, Dst: dst, Src1: NoReg, Src2: NoReg, Imm: imm})
+	return dst
+}
+
+// ConstInto emits dst = const imm.
+func (bu *Builder) ConstInto(dst Reg, imm int64) {
+	bu.Emit(&Instr{Op: OpConst, Dst: dst, Src1: NoReg, Src2: NoReg, Imm: imm})
+}
+
+// Mov emits dst = mov src.
+func (bu *Builder) Mov(dst, src Reg) {
+	bu.Emit(&Instr{Op: OpMov, Dst: dst, Src1: src, Src2: NoReg})
+}
+
+// Bin emits dst = src1 <op> src2 into a fresh virtual register.
+func (bu *Builder) Bin(op Op, src1, src2 Reg) Reg {
+	dst := bu.F.NewVirt()
+	bu.Emit(&Instr{Op: op, Dst: dst, Src1: src1, Src2: src2})
+	return dst
+}
+
+// BinInto emits dst = src1 <op> src2.
+func (bu *Builder) BinInto(op Op, dst, src1, src2 Reg) {
+	bu.Emit(&Instr{Op: op, Dst: dst, Src1: src1, Src2: src2})
+}
+
+// Load emits dst = heap[addr+off] into a fresh virtual register.
+func (bu *Builder) Load(addr Reg, off int64) Reg {
+	dst := bu.F.NewVirt()
+	bu.Emit(&Instr{Op: OpLoad, Dst: dst, Src1: addr, Src2: NoReg, Imm: off})
+	return dst
+}
+
+// Store emits heap[addr+off] = val.
+func (bu *Builder) Store(addr Reg, off int64, val Reg) {
+	bu.Emit(&Instr{Op: OpStore, Dst: NoReg, Src1: addr, Src2: val, Imm: off})
+}
+
+// Call emits a call; dst may be NoReg for a void call.
+func (bu *Builder) Call(dst Reg, callee string, args ...Reg) {
+	bu.Emit(&Instr{Op: OpCall, Dst: dst, Src1: NoReg, Src2: NoReg, Callee: callee, Args: args})
+}
+
+// Ret terminates the current block with a return of val (NoReg for a
+// void return).
+func (bu *Builder) Ret(val Reg) {
+	bu.Emit(&Instr{Op: OpRet, Dst: NoReg, Src1: val, Src2: NoReg})
+}
+
+// Br terminates the current block with a conditional branch and adds
+// both CFG edges with the given profile weights.
+func (bu *Builder) Br(cond Reg, then, els *Block, wThen, wEls int64) {
+	bu.Emit(&Instr{Op: OpBr, Dst: NoReg, Src1: cond, Src2: NoReg, Then: then, Else: els})
+	bu.F.AddEdge(bu.cur, then, Jump, wThen)
+	bu.F.AddEdge(bu.cur, els, FallThrough, wEls)
+}
+
+// Jmp terminates the current block with an unconditional jump and adds
+// the CFG edge.
+func (bu *Builder) Jmp(to *Block, w int64) {
+	bu.Emit(&Instr{Op: OpJmp, Dst: NoReg, Src1: NoReg, Src2: NoReg, Then: to})
+	bu.F.AddEdge(bu.cur, to, Jump, w)
+}
+
+// Finish classifies edge kinds from the final layout, renumbers the
+// blocks, and returns the function.
+func (bu *Builder) Finish() *Func {
+	bu.F.RenumberBlocks()
+	bu.F.ClassifyEdges()
+	return bu.F
+}

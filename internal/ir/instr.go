@@ -1,0 +1,140 @@
+package ir
+
+import (
+	"fmt"
+	"strings"
+)
+
+// InstrFlags mark the provenance of an instruction so dynamic overhead
+// can be attributed. Original program instructions carry no flags.
+type InstrFlags uint8
+
+const (
+	// FlagSpill marks allocator-inserted spill code for ordinary
+	// (non-callee-saved) virtual registers.
+	FlagSpill InstrFlags = 1 << iota
+	// FlagSaveRestore marks callee-saved save/restore instructions
+	// inserted by a spill code placement strategy.
+	FlagSaveRestore
+	// FlagJumpBlock marks a jump instruction inserted purely to carry
+	// spill code on a jump edge (the jump block's trailing jmp).
+	FlagJumpBlock
+)
+
+// Instr is a single three-address instruction.
+type Instr struct {
+	Op   Op
+	Dst  Reg   // destination register, NoReg if none
+	Src1 Reg   // first source, NoReg if none
+	Src2 Reg   // second source, NoReg if none
+	Imm  int64 // immediate: constant, address offset, or spill slot
+
+	// Callee and Args are used by OpCall only.
+	Callee string
+	Args   []Reg
+
+	// Then and Else are the successor blocks of OpBr; Then alone is
+	// used by OpJmp. They must agree with the block's edge list.
+	Then *Block
+	Else *Block
+
+	Flags InstrFlags
+}
+
+// NewInstr returns a plain instruction with the given fields.
+func NewInstr(op Op, dst, src1, src2 Reg, imm int64) *Instr {
+	return &Instr{Op: op, Dst: dst, Src1: src1, Src2: src2, Imm: imm}
+}
+
+// Uses appends the registers read by the instruction to buf and
+// returns it. The buffer form avoids per-instruction allocation in the
+// allocator's hot loops.
+func (in *Instr) Uses(buf []Reg) []Reg {
+	if in.Src1.IsValid() {
+		buf = append(buf, in.Src1)
+	}
+	if in.Src2.IsValid() {
+		buf = append(buf, in.Src2)
+	}
+	for _, a := range in.Args {
+		if a.IsValid() {
+			buf = append(buf, a)
+		}
+	}
+	return buf
+}
+
+// Def returns the register written by the instruction, or NoReg.
+func (in *Instr) Def() Reg { return in.Dst }
+
+// IsOverhead reports whether the instruction is compiler-inserted
+// overhead (spill code, callee-saved save/restore, or jump-block jump).
+func (in *Instr) IsOverhead() bool { return in.Flags != 0 }
+
+// Clone returns a deep copy of the instruction with the same successor
+// block pointers.
+func (in *Instr) Clone() *Instr {
+	cp := *in
+	if in.Args != nil {
+		cp.Args = append([]Reg(nil), in.Args...)
+	}
+	return &cp
+}
+
+// String renders the instruction in the textual IR syntax.
+func (in *Instr) String() string {
+	switch in.Op {
+	case OpNop:
+		return "nop"
+	case OpConst:
+		return fmt.Sprintf("%v = const %d", in.Dst, in.Imm)
+	case OpMov:
+		return fmt.Sprintf("%v = mov %v", in.Dst, in.Src1)
+	case OpNeg, OpNot:
+		return fmt.Sprintf("%v = %v %v", in.Dst, in.Op, in.Src1)
+	case OpLoad:
+		return fmt.Sprintf("%v = load %v+%d", in.Dst, in.Src1, in.Imm)
+	case OpStore:
+		return fmt.Sprintf("store %v+%d, %v", in.Src1, in.Imm, in.Src2)
+	case OpSpillLoad:
+		return fmt.Sprintf("%v = spill.ld %d", in.Dst, in.Imm)
+	case OpSpillStore:
+		return fmt.Sprintf("spill.st %d, %v", in.Imm, in.Src1)
+	case OpSave:
+		return fmt.Sprintf("save %d, %v", in.Imm, in.Src1)
+	case OpRestore:
+		return fmt.Sprintf("%v = restore %d", in.Dst, in.Imm)
+	case OpCall:
+		var b strings.Builder
+		if in.Dst.IsValid() {
+			fmt.Fprintf(&b, "%v = ", in.Dst)
+		}
+		fmt.Fprintf(&b, "call %s(", in.Callee)
+		for i, a := range in.Args {
+			if i > 0 {
+				b.WriteString(", ")
+			}
+			b.WriteString(a.String())
+		}
+		b.WriteString(")")
+		return b.String()
+	case OpRet:
+		if in.Src1.IsValid() {
+			return fmt.Sprintf("ret %v", in.Src1)
+		}
+		return "ret"
+	case OpBr:
+		return fmt.Sprintf("br %v, %s, %s", in.Src1, blockName(in.Then), blockName(in.Else))
+	case OpJmp:
+		return fmt.Sprintf("jmp %s", blockName(in.Then))
+	default:
+		return fmt.Sprintf("%v = %v %v, %v", in.Dst, in.Op, in.Src1, in.Src2)
+	}
+}
+
+func blockName(b *Block) string {
+	if b == nil {
+		return "?"
+	}
+	return b.Name
+}

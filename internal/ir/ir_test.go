@@ -1,0 +1,307 @@
+package ir
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRegEncoding(t *testing.T) {
+	r := Phys(5)
+	if !r.IsPhys() || r.IsVirt() || r.PhysNum() != 5 {
+		t.Errorf("Phys(5) misbehaves: %v", r)
+	}
+	v := Virt(3)
+	if !v.IsVirt() || v.IsPhys() || v.VirtNum() != 3 {
+		t.Errorf("Virt(3) misbehaves: %v", v)
+	}
+	if NoReg.IsValid() {
+		t.Error("NoReg should be invalid")
+	}
+	if r.String() != "r5" || v.String() != "v3" || NoReg.String() != "_" {
+		t.Errorf("String: %v %v %v", r, v, NoReg)
+	}
+}
+
+func TestRegPanics(t *testing.T) {
+	mustPanic := func(name string, fn func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s: expected panic", name)
+			}
+		}()
+		fn()
+	}
+	mustPanic("Phys(-1)", func() { Phys(-1) })
+	mustPanic("Phys(64)", func() { Phys(64) })
+	mustPanic("Virt(-1)", func() { Virt(-1) })
+	mustPanic("PhysNum on virt", func() { Virt(0).PhysNum() })
+	mustPanic("VirtNum on phys", func() { Phys(0).VirtNum() })
+}
+
+func TestOpClassification(t *testing.T) {
+	cases := []struct {
+		op         Op
+		term, load bool
+		store, bin bool
+	}{
+		{OpRet, true, false, false, false},
+		{OpBr, true, false, false, false},
+		{OpJmp, true, false, false, false},
+		{OpLoad, false, true, false, false},
+		{OpSpillLoad, false, true, false, false},
+		{OpRestore, false, true, false, false},
+		{OpStore, false, false, true, false},
+		{OpSpillStore, false, false, true, false},
+		{OpSave, false, false, true, false},
+		{OpAdd, false, false, false, true},
+		{OpCmpLT, false, false, false, true},
+		{OpNeg, false, false, false, false},
+	}
+	for _, c := range cases {
+		if c.op.IsTerminator() != c.term {
+			t.Errorf("%v.IsTerminator() = %v", c.op, !c.term)
+		}
+		if c.op.IsMemLoad() != c.load {
+			t.Errorf("%v.IsMemLoad() = %v", c.op, !c.load)
+		}
+		if c.op.IsMemStore() != c.store {
+			t.Errorf("%v.IsMemStore() = %v", c.op, !c.store)
+		}
+		if c.op.IsBinary() != c.bin {
+			t.Errorf("%v.IsBinary() = %v", c.op, !c.bin)
+		}
+	}
+	if !OpNeg.IsUnary() || OpAdd.IsUnary() {
+		t.Error("IsUnary misclassifies")
+	}
+	if !OpCmpEQ.IsCompare() || OpAdd.IsCompare() {
+		t.Error("IsCompare misclassifies")
+	}
+}
+
+// diamond builds:  entry -> (then|else) -> exit
+func diamond(t *testing.T) *Func {
+	t.Helper()
+	bu := NewBuilder("d", 1)
+	entry := bu.Block("entry")
+	then := bu.F.NewBlock("then")
+	els := bu.F.NewBlock("else")
+	exit := bu.F.NewBlock("exit")
+
+	bu.SetCurrent(entry)
+	c := bu.Const(1)
+	bu.Br(c, then, els, 30, 70)
+
+	bu.SetCurrent(then)
+	bu.Jmp(exit, 30)
+
+	bu.SetCurrent(els)
+	bu.Jmp(exit, 70)
+
+	bu.SetCurrent(exit)
+	bu.Ret(NoReg)
+	return bu.Finish()
+}
+
+func TestBuilderDiamond(t *testing.T) {
+	f := diamond(t)
+	if err := Verify(f); err != nil {
+		t.Fatalf("Verify: %v", err)
+	}
+	if len(f.Blocks) != 4 {
+		t.Fatalf("blocks = %d, want 4", len(f.Blocks))
+	}
+	exit := f.BlockByName("exit")
+	if exit.ExecCount() != 100 {
+		t.Errorf("exit exec count = %d, want 100", exit.ExecCount())
+	}
+	if got := len(f.Exits()); got != 1 {
+		t.Errorf("exits = %d, want 1", got)
+	}
+	// else falls through to exit? layout: entry, then, else, exit.
+	// then -> exit is a jump (exit not next); else -> exit falls through.
+	e1 := f.BlockByName("then").SuccEdge(exit)
+	e2 := f.BlockByName("else").SuccEdge(exit)
+	if e1.Kind != Jump {
+		t.Errorf("then->exit kind = %v, want jump", e1.Kind)
+	}
+	if e2.Kind != FallThrough {
+		t.Errorf("else->exit kind = %v, want fall", e2.Kind)
+	}
+	// Layout is entry,then,else,exit: entry->then targets the next
+	// block (fall-through per the paper's definition), entry->else
+	// skips a block (jump edge).
+	entry := f.BlockByName("entry")
+	if entry.SuccEdge(f.BlockByName("then")).Kind != FallThrough {
+		t.Error("entry->then targets next block; should fall through")
+	}
+	if entry.SuccEdge(f.BlockByName("else")).Kind != Jump {
+		t.Error("entry->else skips a block; should be a jump edge")
+	}
+}
+
+func TestVerifyCatchesBrokenCFG(t *testing.T) {
+	f := diamond(t)
+	// Break symmetry: remove an edge from Preds only.
+	exit := f.BlockByName("exit")
+	exit.Preds = exit.Preds[:1]
+	if err := Verify(f); err == nil {
+		t.Error("Verify should catch asymmetric edges")
+	}
+}
+
+func TestVerifyCatchesUnreachable(t *testing.T) {
+	f := diamond(t)
+	orphan := f.NewBlock("orphan")
+	orphan.Append(&Instr{Op: OpRet, Src1: NoReg, Src2: NoReg, Dst: NoReg})
+	f.RenumberBlocks()
+	if err := Verify(f); err == nil || !strings.Contains(err.Error(), "unreachable") {
+		t.Errorf("Verify should catch unreachable block, got %v", err)
+	}
+}
+
+func TestVerifyCatchesMidBlockTerminator(t *testing.T) {
+	f := diamond(t)
+	b := f.BlockByName("then")
+	b.InsertAtHead(&Instr{Op: OpRet, Src1: NoReg, Src2: NoReg, Dst: NoReg})
+	if err := Verify(f); err == nil {
+		t.Error("Verify should catch mid-block terminator")
+	}
+}
+
+func TestVerifyCatchesMissingTerminator(t *testing.T) {
+	bu := NewBuilder("f", 0)
+	bu.Block("entry")
+	bu.Const(1)
+	f := bu.Finish()
+	if err := Verify(f); err == nil {
+		t.Error("Verify should catch missing terminator")
+	}
+}
+
+func TestCloneIsDeep(t *testing.T) {
+	f := diamond(t)
+	g := f.Clone()
+	if err := Verify(g); err != nil {
+		t.Fatalf("clone fails Verify: %v", err)
+	}
+	// Mutating the clone must not affect the original.
+	g.BlockByName("then").Instrs[0].Imm = 999
+	g.BlockByName("entry").Succs[0].Weight = 123456
+	if f.BlockByName("entry").Succs[0].Weight == 123456 {
+		t.Error("clone shares edges with original")
+	}
+	if f.String() == "" || g.String() == "" {
+		t.Error("String should render")
+	}
+	// Clone's terminator targets must point at clone blocks.
+	ct := g.BlockByName("entry").Terminator()
+	if ct.Then.Func != g || ct.Else.Func != g {
+		t.Error("clone terminator targets original blocks")
+	}
+}
+
+func TestInsertHelpers(t *testing.T) {
+	f := diamond(t)
+	b := f.BlockByName("then")
+	n0 := len(b.Instrs)
+	b.InsertAtHead(&Instr{Op: OpNop, Dst: NoReg, Src1: NoReg, Src2: NoReg})
+	b.InsertBeforeTerminator(&Instr{Op: OpNop, Dst: NoReg, Src1: NoReg, Src2: NoReg})
+	if len(b.Instrs) != n0+2 {
+		t.Fatalf("instr count = %d, want %d", len(b.Instrs), n0+2)
+	}
+	if b.Instrs[0].Op != OpNop {
+		t.Error("InsertAtHead misplaced")
+	}
+	if b.Instrs[len(b.Instrs)-2].Op != OpNop {
+		t.Error("InsertBeforeTerminator misplaced")
+	}
+	if b.Terminator() == nil {
+		t.Error("terminator lost")
+	}
+}
+
+func TestInstrUsesAndString(t *testing.T) {
+	in := &Instr{Op: OpAdd, Dst: Virt(2), Src1: Virt(0), Src2: Virt(1)}
+	uses := in.Uses(nil)
+	if len(uses) != 2 || uses[0] != Virt(0) || uses[1] != Virt(1) {
+		t.Errorf("Uses = %v", uses)
+	}
+	call := &Instr{Op: OpCall, Dst: Virt(0), Src1: NoReg, Src2: NoReg,
+		Callee: "g", Args: []Reg{Virt(1), Virt(2)}}
+	uses = call.Uses(nil)
+	if len(uses) != 2 {
+		t.Errorf("call Uses = %v", uses)
+	}
+	if s := call.String(); !strings.Contains(s, "call g(") {
+		t.Errorf("call String = %q", s)
+	}
+	save := &Instr{Op: OpSave, Dst: NoReg, Src1: Phys(12), Src2: NoReg, Imm: 0, Flags: FlagSaveRestore}
+	if !save.IsOverhead() {
+		t.Error("flagged instruction should be overhead")
+	}
+	if in.IsOverhead() {
+		t.Error("plain instruction should not be overhead")
+	}
+}
+
+func TestProgramAddAndVerify(t *testing.T) {
+	p := NewProgram()
+	f := diamond(t)
+	p.Add(f)
+	if p.Main != "d" {
+		t.Errorf("Main = %q, want d", p.Main)
+	}
+	if err := VerifyProgram(p); err != nil {
+		t.Fatalf("VerifyProgram: %v", err)
+	}
+
+	// Add a caller with a bad callee reference.
+	bu := NewBuilder("caller", 0)
+	bu.Block("entry")
+	bu.Call(NoReg, "missing")
+	bu.Ret(NoReg)
+	p.Add(bu.Finish())
+	if err := VerifyProgram(p); err == nil || !strings.Contains(err.Error(), "undefined") {
+		t.Errorf("VerifyProgram should catch undefined callee, got %v", err)
+	}
+}
+
+func TestProgramClone(t *testing.T) {
+	p := NewProgram()
+	p.Add(diamond(t))
+	q := p.Clone()
+	if err := VerifyProgram(q); err != nil {
+		t.Fatalf("clone VerifyProgram: %v", err)
+	}
+	q.Func("d").BlockByName("entry").Succs[0].Weight = 777
+	if p.Func("d").BlockByName("entry").Succs[0].Weight == 777 {
+		t.Error("program clone shares state")
+	}
+}
+
+func TestEdgeRemoval(t *testing.T) {
+	f := diamond(t)
+	exit := f.BlockByName("exit")
+	then := f.BlockByName("then")
+	e := then.SuccEdge(exit)
+	f.RemoveEdge(e)
+	if then.SuccEdge(exit) != nil {
+		t.Error("edge still in Succs")
+	}
+	if exit.PredEdge(then) != nil {
+		t.Error("edge still in Preds")
+	}
+}
+
+func TestExecCountEntryFallback(t *testing.T) {
+	bu := NewBuilder("f", 0)
+	bu.Block("entry")
+	bu.Ret(NoReg)
+	f := bu.Finish()
+	f.EntryCount = 42
+	if got := f.Entry.ExecCount(); got != 42 {
+		t.Errorf("entry ExecCount = %d, want 42 (EntryCount fallback)", got)
+	}
+}

@@ -1,0 +1,72 @@
+// Package ir defines a small three-address intermediate representation
+// with an explicit weighted control flow graph. It is the substrate on
+// which register allocation and post-allocation spill code placement
+// operate, standing in for the GCC RTL midend used in the paper.
+package ir
+
+import "fmt"
+
+// Reg names a register. Values in [0, VirtBase) are physical machine
+// registers; values >= VirtBase are virtual registers assigned by the
+// front end and eliminated by register allocation.
+type Reg int32
+
+// VirtBase is the first virtual register number. Physical registers
+// live below it; no machine modeled here has more than 64 registers.
+const VirtBase Reg = 64
+
+// NoReg marks an absent register operand.
+const NoReg Reg = -1
+
+// Phys returns the physical register with hardware number n.
+func Phys(n int) Reg {
+	if n < 0 || Reg(n) >= VirtBase {
+		panic(fmt.Sprintf("ir.Phys: register number %d out of range", n))
+	}
+	return Reg(n)
+}
+
+// Virt returns the n'th virtual register.
+func Virt(n int) Reg {
+	if n < 0 {
+		panic(fmt.Sprintf("ir.Virt: negative virtual register %d", n))
+	}
+	return VirtBase + Reg(n)
+}
+
+// IsPhys reports whether r is a physical machine register.
+func (r Reg) IsPhys() bool { return r >= 0 && r < VirtBase }
+
+// IsVirt reports whether r is a virtual register.
+func (r Reg) IsVirt() bool { return r >= VirtBase }
+
+// IsValid reports whether r names any register at all.
+func (r Reg) IsValid() bool { return r >= 0 }
+
+// PhysNum returns the hardware number of a physical register.
+func (r Reg) PhysNum() int {
+	if !r.IsPhys() {
+		panic(fmt.Sprintf("ir.Reg.PhysNum: %v is not physical", r))
+	}
+	return int(r)
+}
+
+// VirtNum returns the index of a virtual register.
+func (r Reg) VirtNum() int {
+	if !r.IsVirt() {
+		panic(fmt.Sprintf("ir.Reg.VirtNum: %v is not virtual", r))
+	}
+	return int(r - VirtBase)
+}
+
+// String renders physical registers as rN and virtual registers as vN.
+func (r Reg) String() string {
+	switch {
+	case r == NoReg:
+		return "_"
+	case r.IsPhys():
+		return fmt.Sprintf("r%d", int(r))
+	default:
+		return fmt.Sprintf("v%d", r.VirtNum())
+	}
+}

@@ -1,0 +1,175 @@
+package ir
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Verify checks structural consistency of the function's CFG and
+// instruction stream. It returns a joined error describing every
+// violation found, or nil.
+//
+// The invariants checked:
+//   - block IDs are dense and match layout positions
+//   - every block ends in exactly one terminator and has none earlier
+//   - terminator targets agree with the successor edge list
+//   - Preds/Succs lists are symmetric
+//   - the entry block exists and has no predecessors
+//   - every block is reachable from the entry
+//   - edge weights are non-negative
+func Verify(f *Func) error {
+	var errs []error
+	fail := func(format string, args ...any) {
+		errs = append(errs, fmt.Errorf("ir.Verify(%s): "+format, append([]any{f.Name}, args...)...))
+	}
+
+	if f.Entry == nil {
+		fail("no entry block")
+		return errors.Join(errs...)
+	}
+	if len(f.Entry.Preds) != 0 {
+		fail("entry block %s has predecessors", f.Entry.Name)
+	}
+
+	seen := make(map[string]bool, len(f.Blocks))
+	for i, b := range f.Blocks {
+		if b.ID != i {
+			fail("block %s has ID %d at layout position %d (call RenumberBlocks)", b.Name, b.ID, i)
+		}
+		if b.Func != f {
+			fail("block %s belongs to a different function", b.Name)
+		}
+		if seen[b.Name] {
+			fail("duplicate block name %s", b.Name)
+		}
+		seen[b.Name] = true
+
+		// Terminator discipline.
+		if len(b.Instrs) == 0 {
+			fail("block %s is empty", b.Name)
+			continue
+		}
+		for j, in := range b.Instrs {
+			if in.Op.IsTerminator() && j != len(b.Instrs)-1 {
+				fail("block %s has terminator %v at non-final position %d", b.Name, in.Op, j)
+			}
+		}
+		t := b.Terminator()
+		if t == nil {
+			fail("block %s does not end in a terminator", b.Name)
+			continue
+		}
+		switch t.Op {
+		case OpRet:
+			if len(b.Succs) != 0 {
+				fail("ret block %s has %d successors", b.Name, len(b.Succs))
+			}
+		case OpJmp:
+			if len(b.Succs) != 1 {
+				fail("jmp block %s has %d successors, want 1", b.Name, len(b.Succs))
+			} else if b.Succs[0].To != t.Then {
+				fail("jmp block %s edge targets %s but instruction targets %s",
+					b.Name, b.Succs[0].To.Name, blockName(t.Then))
+			}
+		case OpBr:
+			if len(b.Succs) != 2 {
+				fail("br block %s has %d successors, want 2", b.Name, len(b.Succs))
+			} else {
+				if b.SuccEdge(t.Then) == nil {
+					fail("br block %s missing edge to then-target %s", b.Name, blockName(t.Then))
+				}
+				if b.SuccEdge(t.Else) == nil {
+					fail("br block %s missing edge to else-target %s", b.Name, blockName(t.Else))
+				}
+				if t.Then == t.Else {
+					fail("br block %s has identical then/else targets", b.Name)
+				}
+			}
+		}
+
+		// Edge symmetry and weights.
+		for _, e := range b.Succs {
+			if e.From != b {
+				fail("edge %v in %s.Succs has From=%s", e, b.Name, e.From.Name)
+			}
+			if e.Weight < 0 {
+				fail("edge %v has negative weight", e)
+			}
+			if !containsEdge(e.To.Preds, e) {
+				fail("edge %v missing from %s.Preds", e, e.To.Name)
+			}
+		}
+		for _, e := range b.Preds {
+			if e.To != b {
+				fail("edge %v in %s.Preds has To=%s", e, b.Name, e.To.Name)
+			}
+			if !containsEdge(e.From.Succs, e) {
+				fail("edge %v missing from %s.Succs", e, e.From.Name)
+			}
+		}
+	}
+
+	// Reachability.
+	reached := make(map[*Block]bool, len(f.Blocks))
+	var stack []*Block
+	stack = append(stack, f.Entry)
+	reached[f.Entry] = true
+	for len(stack) > 0 {
+		b := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, e := range b.Succs {
+			if !reached[e.To] {
+				reached[e.To] = true
+				stack = append(stack, e.To)
+			}
+		}
+	}
+	for _, b := range f.Blocks {
+		if !reached[b] {
+			fail("block %s is unreachable from entry", b.Name)
+		}
+	}
+
+	return errors.Join(errs...)
+}
+
+func containsEdge(list []*Edge, e *Edge) bool {
+	for _, x := range list {
+		if x == e {
+			return true
+		}
+	}
+	return false
+}
+
+// VerifyProgram verifies every function and checks cross-function
+// references: every OpCall names a function defined in the program and
+// passes the arity it declares.
+func VerifyProgram(p *Program) error {
+	var errs []error
+	if p.Main == "" || p.Funcs[p.Main] == nil {
+		errs = append(errs, fmt.Errorf("ir.VerifyProgram: main function %q not defined", p.Main))
+	}
+	for _, f := range p.FuncsInOrder() {
+		if err := Verify(f); err != nil {
+			errs = append(errs, err)
+		}
+		for _, b := range f.Blocks {
+			for _, in := range b.Instrs {
+				if in.Op != OpCall {
+					continue
+				}
+				callee := p.Funcs[in.Callee]
+				if callee == nil {
+					errs = append(errs, fmt.Errorf("ir.VerifyProgram: %s calls undefined %q", f.Name, in.Callee))
+					continue
+				}
+				if len(in.Args) != len(callee.Params) {
+					errs = append(errs, fmt.Errorf("ir.VerifyProgram: %s calls %s with %d args, want %d",
+						f.Name, in.Callee, len(in.Args), len(callee.Params)))
+				}
+			}
+		}
+	}
+	return errors.Join(errs...)
+}

@@ -1,0 +1,89 @@
+// Package irtext prints and parses a textual form of the IR, so test
+// programs, examples and command-line tools can read and write
+// procedures as files. The format round-trips everything the analyses
+// need: block layout (which defines jump edges), edge profile weights,
+// instruction flags, and function entry counts.
+package irtext
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/ir"
+)
+
+// Print renders the whole program.
+func Print(p *ir.Program) string {
+	var b strings.Builder
+	for i, f := range p.FuncsInOrder() {
+		if i > 0 {
+			b.WriteString("\n")
+		}
+		PrintFunc(&b, f)
+	}
+	return b.String()
+}
+
+// PrintFunc renders one function.
+func PrintFunc(b *strings.Builder, f *ir.Func) {
+	fmt.Fprintf(b, "func %s(", f.Name)
+	for i, p := range f.Params {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		b.WriteString(p.String())
+	}
+	b.WriteString(")")
+	if f.EntryCount != 0 {
+		fmt.Fprintf(b, " entry=%d", f.EntryCount)
+	}
+	b.WriteString(" {\n")
+	for _, blk := range f.Blocks {
+		fmt.Fprintf(b, "%s:\n", blk.Name)
+		for _, in := range blk.Instrs {
+			b.WriteString("\t")
+			b.WriteString(instrString(blk, in))
+			b.WriteString("\n")
+		}
+	}
+	b.WriteString("}\n")
+}
+
+// instrString renders an instruction, adding edge weights to
+// terminators and flag suffixes.
+func instrString(blk *ir.Block, in *ir.Instr) string {
+	s := in.String()
+	switch in.Op {
+	case ir.OpBr:
+		wt, we := int64(0), int64(0)
+		if e := blk.SuccEdge(in.Then); e != nil {
+			wt = e.Weight
+		}
+		if e := blk.SuccEdge(in.Else); e != nil {
+			we = e.Weight
+		}
+		s += fmt.Sprintf(" ; %d %d", wt, we)
+	case ir.OpJmp:
+		if e := blk.SuccEdge(in.Then); e != nil {
+			s += fmt.Sprintf(" ; %d", e.Weight)
+		}
+	}
+	if fl := flagSuffix(in.Flags); fl != "" {
+		s += " " + fl
+	}
+	return s
+}
+
+func flagSuffix(fl ir.InstrFlags) string {
+	var parts []string
+	if fl&ir.FlagSpill != 0 {
+		parts = append(parts, "!spill")
+	}
+	if fl&ir.FlagSaveRestore != 0 {
+		parts = append(parts, "!sr")
+	}
+	if fl&ir.FlagJumpBlock != 0 {
+		parts = append(parts, "!jb")
+	}
+	return strings.Join(parts, " ")
+}

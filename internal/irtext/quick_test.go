@@ -1,0 +1,53 @@
+package irtext
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/cfgtest"
+	"repro/internal/ir"
+)
+
+// TestQuickRoundTripRandomCFGs: printing and reparsing a random
+// structured function reproduces the same text, block layout, edge
+// weights and edge kinds.
+func TestQuickRoundTripRandomCFGs(t *testing.T) {
+	check := func(seed uint64) bool {
+		f := cfgtest.RandomStructured(seed, 3)
+		p := ir.NewProgram()
+		p.Add(f)
+		text := Print(p)
+		q, err := Parse(text)
+		if err != nil {
+			t.Logf("seed %x: parse: %v", seed, err)
+			return false
+		}
+		if Print(q) != text {
+			t.Logf("seed %x: round trip not stable", seed)
+			return false
+		}
+		g := q.Func(f.Name)
+		if len(g.Blocks) != len(f.Blocks) {
+			t.Logf("seed %x: block count %d != %d", seed, len(g.Blocks), len(f.Blocks))
+			return false
+		}
+		for i, b := range f.Blocks {
+			gb := g.Blocks[i]
+			if gb.Name != b.Name || len(gb.Succs) != len(b.Succs) {
+				t.Logf("seed %x: block %s mismatched", seed, b.Name)
+				return false
+			}
+			for _, e := range b.Succs {
+				ge := gb.SuccEdge(g.BlockByName(e.To.Name))
+				if ge == nil || ge.Weight != e.Weight || ge.Kind != e.Kind {
+					t.Logf("seed %x: edge %v mismatched", seed, e)
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}

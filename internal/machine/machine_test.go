@@ -1,0 +1,66 @@
+package machine
+
+import (
+	"testing"
+
+	"repro/internal/ir"
+)
+
+func TestPARISC(t *testing.T) {
+	d := PARISC()
+	if d.NumRegs != 24 {
+		t.Errorf("NumRegs = %d, want 24 (the paper's PA-RISC)", d.NumRegs)
+	}
+	if d.NumCalleeSaved() != 13 {
+		t.Errorf("callee-saved = %d, want 13", d.NumCalleeSaved())
+	}
+	if len(d.CallerSaved())+len(d.CalleeSaved()) != d.NumRegs {
+		t.Error("register classes must partition the register file")
+	}
+	for _, r := range d.CalleeSaved() {
+		if !d.IsCalleeSaved(r) || d.IsCallerSaved(r) {
+			t.Errorf("%v misclassified", r)
+		}
+	}
+	for _, r := range d.CallerSaved() {
+		if !d.IsCallerSaved(r) || d.IsCalleeSaved(r) {
+			t.Errorf("%v misclassified", r)
+		}
+	}
+	// Argument and return registers must be caller-saved: the callee
+	// writes them before any save could run.
+	if !d.IsCallerSaved(d.RetReg) {
+		t.Error("return register must be caller-saved")
+	}
+	for _, r := range d.ArgRegs {
+		if !d.IsCallerSaved(r) {
+			t.Errorf("argument register %v must be caller-saved", r)
+		}
+	}
+}
+
+func TestSmall(t *testing.T) {
+	d := Small(4, 2)
+	if d.NumRegs != 4 || d.NumCalleeSaved() != 2 {
+		t.Errorf("Small(4,2) = %d/%d", d.NumRegs, d.NumCalleeSaved())
+	}
+	if !d.IsCalleeSaved(ir.Phys(2)) || !d.IsCalleeSaved(ir.Phys(3)) {
+		t.Error("top registers should be callee-saved")
+	}
+	if d.IsCalleeSaved(ir.Phys(1)) {
+		t.Error("r1 should be caller-saved")
+	}
+	// Virtual registers are in no class.
+	if d.IsCalleeSaved(ir.Virt(0)) || d.IsCallerSaved(ir.Virt(0)) {
+		t.Error("virtual registers have no save class")
+	}
+}
+
+func TestSmallPanicsWithoutCallerSaved(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Small(2,2) should panic: no caller-saved register left")
+		}
+	}()
+	Small(2, 2)
+}

@@ -1,0 +1,59 @@
+// Package profile collects edge profiles by instrumented execution and
+// applies them to a program's CFG edge weights, standing in for the
+// SPEC profiling runs the paper uses.
+package profile
+
+import (
+	"fmt"
+
+	"repro/internal/ir"
+	"repro/internal/vm"
+)
+
+// Collect runs the program on the given arguments and writes the
+// observed execution counts onto every CFG edge (Edge.Weight) and
+// every function's EntryCount. It returns the VM statistics of the
+// profiling run.
+func Collect(prog *ir.Program, args ...int64) (*vm.Stats, error) {
+	m := vm.New(prog, vm.Config{CollectEdges: true})
+	if _, err := m.Run(args...); err != nil {
+		return nil, fmt.Errorf("profile: %w", err)
+	}
+	for _, f := range prog.FuncsInOrder() {
+		f.EntryCount = m.Stats.Calls[f.Name]
+		for _, b := range f.Blocks {
+			for _, e := range b.Succs {
+				e.Weight = m.EdgeCount[e]
+			}
+		}
+	}
+	return &m.Stats, nil
+}
+
+// Consistent checks flow conservation of the profile on every
+// function: for each non-entry, non-exit block the sum of incoming
+// edge counts equals the sum of outgoing counts, and the entry block's
+// outgoing count equals the function's entry count.
+func Consistent(prog *ir.Program) error {
+	for _, f := range prog.FuncsInOrder() {
+		for _, b := range f.Blocks {
+			var in, out int64
+			for _, e := range b.Preds {
+				in += e.Weight
+			}
+			for _, e := range b.Succs {
+				out += e.Weight
+			}
+			if b == f.Entry {
+				in = f.EntryCount
+			}
+			if b.IsExit() {
+				continue
+			}
+			if in != out {
+				return fmt.Errorf("profile: %s.%s: in %d != out %d", f.Name, b.Name, in, out)
+			}
+		}
+	}
+	return nil
+}

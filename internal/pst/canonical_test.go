@@ -1,0 +1,91 @@
+package pst
+
+import (
+	"testing"
+
+	"repro/internal/cfgtest"
+	"repro/internal/workload"
+)
+
+func TestCanonicalStraightLine(t *testing.T) {
+	// A -> B -> C: the class chain is START->A, A->B, B->C, C->END,
+	// close. Canonical mode yields a region per consecutive pair plus
+	// the root; maximal collapses everything into the root.
+	f := cfgtest.MustBuild("line",
+		[]string{"A", "B", "C"},
+		[]cfgtest.Edge{cfgtest.E("A", "B", 5), cfgtest.E("B", "C", 5)})
+
+	max, err := Build(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	can, err := BuildMode(f, Canonical)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(max.Regions) != 1 {
+		t.Errorf("maximal regions = %d, want 1", len(max.Regions))
+	}
+	if len(can.Regions) <= len(max.Regions) {
+		t.Errorf("canonical should have more regions: %d vs %d", len(can.Regions), len(max.Regions))
+	}
+	// Canonical pairs: (START->A, A->B) = {A}, (A->B, B->C) = {B},
+	// (B->C, C->END) = {C}, (C->END, close) = {} dropped or {C}...,
+	// plus the root. Expect the single-block regions to exist.
+	found := map[string]bool{}
+	for _, r := range can.Regions {
+		if len(r.Blocks) == 1 {
+			found[r.Blocks[0].Name] = true
+		}
+	}
+	for _, n := range []string{"A", "B", "C"} {
+		if !found[n] {
+			t.Errorf("canonical mode missing single-block region {%s}", n)
+		}
+	}
+	if can.Root == nil || len(can.Root.Blocks) != 3 {
+		t.Error("canonical mode must still have a whole-procedure root")
+	}
+}
+
+func TestCanonicalFigure2Superset(t *testing.T) {
+	fig := workload.NewFigure2()
+	max, err := Build(fig.Func)
+	if err != nil {
+		t.Fatal(err)
+	}
+	can, err := BuildMode(fig.Func, Canonical)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(can.Regions) < len(max.Regions) {
+		t.Errorf("canonical %d regions < maximal %d", len(can.Regions), len(max.Regions))
+	}
+	// Every maximal region's block set appears among canonical regions
+	// or is recoverable as a union; at minimum the nested structure
+	// stays well formed.
+	checkTree(t, can)
+	checkTree(t, max)
+}
+
+func checkTree(t *testing.T, p *PST) {
+	t.Helper()
+	for _, r := range p.Regions {
+		if r == p.Root {
+			continue
+		}
+		if r.Parent == nil {
+			t.Errorf("region %v has no parent", r)
+			continue
+		}
+		for _, b := range r.Blocks {
+			if !r.Parent.ContainsBlock(b) {
+				t.Errorf("parent of %v does not contain %s", r, b.Name)
+			}
+		}
+	}
+	order := p.BottomUp()
+	if len(order) != len(p.Regions) || order[len(order)-1] != p.Root {
+		t.Error("BottomUp malformed")
+	}
+}

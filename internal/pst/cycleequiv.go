@@ -1,0 +1,259 @@
+// Package pst builds the Program Structure Tree of Johnson, Pearson
+// and Pingali (PLDI'94): single-entry single-exit (SESE) regions found
+// through cycle equivalence of control flow edges. Unlike JPP's
+// canonical (smallest) regions, this package produces the *maximal*
+// SESE regions the paper's hierarchical spill code placement requires:
+// one region per cycle-equivalence class, spanning from the class's
+// dominating edge to its postdominating edge.
+package pst
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/ir"
+)
+
+// augGraph is the CFG augmented with virtual START and END nodes and
+// the END->START edge that makes the undirected graph 2-edge-connected
+// (every edge lies on a cycle), as required for cycle equivalence.
+type augGraph struct {
+	f *ir.Func
+	// Node numbering: 0..n-1 real blocks (by ID), n = START, n+1 = END.
+	n     int
+	start int
+	end   int
+	// edges[i] describes augmented edge i.
+	edges []augEdge
+	adj   [][]halfEdge // undirected adjacency: adj[node] = incident edges
+}
+
+type augEdge struct {
+	from, to int
+	real     *ir.Edge  // nil for augmented edges
+	exitFrom *ir.Block // for exit->END edges, the exit block
+	isEntry  bool      // START->entry
+	isClose  bool      // END->START
+}
+
+type halfEdge struct {
+	edge  int
+	other int
+}
+
+func buildAug(f *ir.Func) *augGraph {
+	n := len(f.Blocks)
+	g := &augGraph{f: f, n: n, start: n, end: n + 1}
+	add := func(e augEdge) {
+		idx := len(g.edges)
+		g.edges = append(g.edges, e)
+		_ = idx
+	}
+	add(augEdge{from: g.start, to: f.Entry.ID, isEntry: true})
+	for _, b := range f.Blocks {
+		for _, e := range b.Succs {
+			add(augEdge{from: e.From.ID, to: e.To.ID, real: e})
+		}
+		if b.IsExit() {
+			add(augEdge{from: b.ID, to: g.end, exitFrom: b})
+		}
+	}
+	add(augEdge{from: g.end, to: g.start, isClose: true})
+
+	g.adj = make([][]halfEdge, n+2)
+	for i, e := range g.edges {
+		g.adj[e.from] = append(g.adj[e.from], halfEdge{edge: i, other: e.to})
+		if e.from != e.to {
+			g.adj[e.to] = append(g.adj[e.to], halfEdge{edge: i, other: e.from})
+		}
+	}
+	return g
+}
+
+// xorshift is a tiny deterministic PRNG so cycle-equivalence class
+// signatures are reproducible run to run.
+type xorshift uint64
+
+func (x *xorshift) next() uint64 {
+	v := uint64(*x)
+	v ^= v << 13
+	v ^= v >> 7
+	v ^= v << 17
+	if v == 0 {
+		v = 0x9e3779b97f4a7c15
+	}
+	*x = xorshift(v)
+	return v
+}
+
+// sig is a 128-bit signature of the set of fundamental cycles an edge
+// belongs to. Two edges are cycle equivalent iff they belong to the
+// same set of fundamental cycles of any spanning tree, so equal sigs
+// identify equivalence classes (collision probability ~2^-128).
+type sig struct{ a, b uint64 }
+
+func (s *sig) xor(t sig) { s.a ^= t.a; s.b ^= t.b }
+
+// cycleEquivalence returns, for every augmented edge index, a class
+// signature such that two edges are cycle equivalent iff their
+// signatures are equal.
+//
+// Method: build an undirected DFS spanning tree. Each non-tree edge
+// (backedge) defines a fundamental cycle consisting of itself plus the
+// tree path between its endpoints. A tree edge's fundamental-cycle set
+// is the set of backedges whose tree path crosses it, computed with
+// the standard path-XOR subtree aggregation; a backedge's set is just
+// itself. Self-loops form singleton classes.
+func cycleEquivalence(g *augGraph) []sig {
+	nNodes := g.n + 2
+	nEdges := len(g.edges)
+
+	parent := make([]int, nNodes)     // parent node in DFS tree
+	parentEdge := make([]int, nNodes) // edge index to parent
+	order := make([]int, 0, nNodes)   // DFS preorder of nodes
+	state := make([]int, nNodes)      // 0 new, 1 open, 2 done
+	for i := range parent {
+		parent[i] = -1
+		parentEdge[i] = -1
+	}
+
+	isTree := make([]bool, nEdges)
+	isBack := make([]bool, nEdges)
+	rng := xorshift(0x5eed1234abcd9876)
+	hashes := make([]sig, nEdges)
+	acc := make([]sig, nNodes)
+	sigs := make([]sig, nEdges)
+	used := make([]bool, nEdges)
+
+	// Iterative DFS from START over the undirected multigraph.
+	type frame struct{ node, idx int }
+	stack := []frame{{g.start, 0}}
+	state[g.start] = 1
+	order = append(order, g.start)
+	for len(stack) > 0 {
+		fr := &stack[len(stack)-1]
+		if fr.idx >= len(g.adj[fr.node]) {
+			state[fr.node] = 2
+			stack = stack[:len(stack)-1]
+			continue
+		}
+		he := g.adj[fr.node][fr.idx]
+		fr.idx++
+		if used[he.edge] {
+			continue
+		}
+		used[he.edge] = true
+		e := g.edges[he.edge]
+		if e.from == e.to {
+			// Self-loop: unique singleton class.
+			hashes[he.edge] = sig{rng.next(), rng.next()}
+			sigs[he.edge] = hashes[he.edge]
+			continue
+		}
+		w := he.other
+		if state[w] == 0 {
+			isTree[he.edge] = true
+			parent[w] = fr.node
+			parentEdge[w] = he.edge
+			state[w] = 1
+			order = append(order, w)
+			stack = append(stack, frame{w, 0})
+		} else {
+			// Backedge (to an ancestor or finished node; in undirected
+			// DFS all non-tree edges connect to ancestors).
+			isBack[he.edge] = true
+			h := sig{rng.next(), rng.next()}
+			hashes[he.edge] = h
+			sigs[he.edge] = h
+			acc[e.from].xor(h)
+			acc[e.to].xor(h)
+		}
+	}
+
+	// Subtree XOR aggregation in reverse preorder (children first).
+	sub := make([]sig, nNodes)
+	for i := range sub {
+		sub[i] = acc[i]
+	}
+	for i := len(order) - 1; i >= 1; i-- {
+		v := order[i]
+		p := parent[v]
+		// Tree edge p-v carries the subtree XOR of v.
+		sigs[parentEdge[v]] = sub[v]
+		sub[p].xor(sub[v])
+	}
+
+	_ = isTree
+	_ = isBack
+	return sigs
+}
+
+// splitGraph builds the edge-split directed graph used to order edges
+// of one class by dominance and to decide region membership: every
+// augmented edge e: u->v (except END->START) becomes u -> node(e) -> v.
+// It is represented as a bare ir.Func so the cfg dominator code can
+// run on it.
+type splitGraph struct {
+	g *ir.Func
+	// blockNode[b.ID] is the split-graph block for real block b.
+	blockNode []*ir.Block
+	// edgeNode[i] is the split-graph block for augmented edge i (nil
+	// for END->START).
+	edgeNode []*ir.Block
+	startN   *ir.Block
+	endN     *ir.Block
+}
+
+func buildSplit(a *augGraph) *splitGraph {
+	s := &splitGraph{g: ir.NewFunc(a.f.Name + ".split")}
+	s.startN = s.g.NewBlock("START")
+	s.blockNode = make([]*ir.Block, a.n)
+	for _, b := range a.f.Blocks {
+		s.blockNode[b.ID] = s.g.NewBlock("n." + b.Name)
+	}
+	s.endN = s.g.NewBlock("END")
+	// END is the unique exit of the split graph; give it a ret so
+	// cfg.Postdominators can find it.
+	s.endN.Append(&ir.Instr{Op: ir.OpRet, Dst: ir.NoReg, Src1: ir.NoReg, Src2: ir.NoReg})
+	node := func(i int) *ir.Block {
+		switch i {
+		case a.start:
+			return s.startN
+		case a.end:
+			return s.endN
+		default:
+			return s.blockNode[i]
+		}
+	}
+	s.edgeNode = make([]*ir.Block, len(a.edges))
+	for i, e := range a.edges {
+		if e.isClose {
+			continue
+		}
+		en := s.g.NewBlock(fmt.Sprintf("e%d", i))
+		s.edgeNode[i] = en
+		s.g.AddEdge(node(e.from), en, ir.Jump, 0)
+		s.g.AddEdge(en, node(e.to), ir.Jump, 0)
+	}
+	s.g.RenumberBlocks()
+	return s
+}
+
+// classes groups augmented edge indices by signature, deterministic
+// order (by first edge index).
+func groupClasses(sigs []sig) [][]int {
+	bySig := make(map[sig][]int)
+	var keys []sig
+	for i, s := range sigs {
+		if _, ok := bySig[s]; !ok {
+			keys = append(keys, s)
+		}
+		bySig[s] = append(bySig[s], i)
+	}
+	sort.Slice(keys, func(i, j int) bool { return bySig[keys[i]][0] < bySig[keys[j]][0] })
+	out := make([][]int, 0, len(keys))
+	for _, k := range keys {
+		out = append(out, bySig[k])
+	}
+	return out
+}

@@ -1,0 +1,342 @@
+package pst
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/cfg"
+	"repro/internal/ir"
+)
+
+// Region is a maximal SESE region: the span between the dominating and
+// postdominating edges of one cycle-equivalence class.
+//
+// Boundary encoding:
+//   - interior region: EntryEdge and ExitEdge are real CFG edges
+//   - EntryEdge == nil: the region's entry is procedure entry
+//   - ExitEdge == nil, ExitBlock != nil: the exit is the end of that
+//     specific exit block (the augmented exit->END edge)
+//   - ExitEdge == nil, ExitBlock == nil: the exit is every procedure
+//     exit (root region only)
+type Region struct {
+	EntryEdge *ir.Edge
+	ExitEdge  *ir.Edge
+	ExitBlock *ir.Block
+
+	// Blocks contains the region body in layout order, including
+	// blocks of nested regions.
+	Blocks []*ir.Block
+
+	Parent   *Region
+	Children []*Region
+	// Depth is 0 for the root, increasing inward.
+	Depth int
+
+	in map[int]bool // block IDs
+}
+
+// IsRoot reports whether the region is the whole procedure.
+func (r *Region) IsRoot() bool { return r.Parent == nil }
+
+// ContainsBlock reports whether b lies inside the region.
+func (r *Region) ContainsBlock(b *ir.Block) bool { return r.in[b.ID] }
+
+// ContainsEdge reports whether both endpoints of e lie inside the
+// region (the region's own boundary edges are NOT contained).
+func (r *Region) ContainsEdge(e *ir.Edge) bool {
+	return r.in[e.From.ID] && r.in[e.To.ID]
+}
+
+// EntryWeight is the dynamic execution count of the region's entry
+// boundary.
+func (r *Region) EntryWeight(f *ir.Func) int64 {
+	if r.EntryEdge != nil {
+		return r.EntryEdge.Weight
+	}
+	return f.EntryCount
+}
+
+// ExitWeight is the dynamic execution count of the region's exit
+// boundary (summed over all procedure exits for the root).
+func (r *Region) ExitWeight(f *ir.Func) int64 {
+	if r.ExitEdge != nil {
+		return r.ExitEdge.Weight
+	}
+	if r.ExitBlock != nil {
+		return r.ExitBlock.ExecCount()
+	}
+	var n int64
+	for _, b := range f.Exits() {
+		n += b.ExecCount()
+	}
+	return n
+}
+
+// String renders the region boundaries for diagnostics.
+func (r *Region) String() string {
+	entry := "proc-entry"
+	if r.EntryEdge != nil {
+		entry = r.EntryEdge.From.Name + "->" + r.EntryEdge.To.Name
+	}
+	exit := "proc-exit"
+	switch {
+	case r.ExitEdge != nil:
+		exit = r.ExitEdge.From.Name + "->" + r.ExitEdge.To.Name
+	case r.ExitBlock != nil:
+		exit = "end-of-" + r.ExitBlock.Name
+	}
+	names := make([]string, len(r.Blocks))
+	for i, b := range r.Blocks {
+		names[i] = b.Name
+	}
+	return fmt.Sprintf("region[%s .. %s]{%s}", entry, exit, strings.Join(names, " "))
+}
+
+// PST is the Program Structure Tree of maximal SESE regions.
+type PST struct {
+	Func    *ir.Func
+	Root    *Region
+	Regions []*Region // all regions including the root
+}
+
+// Mode selects which SESE regions form the tree.
+type Mode int
+
+const (
+	// Maximal regions (one per cycle-equivalence class, spanning its
+	// dominating to its postdominating edge) are what the paper's
+	// algorithm requires: region boundaries are exactly the points
+	// where execution frequency can change.
+	Maximal Mode = iota
+	// Canonical regions are Johnson/Pearson/Pingali's original
+	// smallest regions: one per consecutive edge pair of a class
+	// chain. Provided for comparison; the hierarchical algorithm
+	// produces equal-cost placements over either tree because all
+	// edges of one class run at the same frequency, but the canonical
+	// tree is larger. See the canonical-vs-maximal ablation tests.
+	Canonical
+)
+
+// Build computes the PST of f over maximal SESE regions (what the
+// paper's algorithm uses). The function must pass ir.Verify and have
+// at least one exit block.
+func Build(f *ir.Func) (*PST, error) { return BuildMode(f, Maximal) }
+
+// BuildMode computes the PST with the chosen region mode.
+func BuildMode(f *ir.Func, mode Mode) (*PST, error) {
+	if err := ir.Verify(f); err != nil {
+		return nil, fmt.Errorf("pst.Build: %w", err)
+	}
+	if len(f.Exits()) == 0 {
+		return nil, fmt.Errorf("pst.Build(%s): function has no exit block", f.Name)
+	}
+
+	a := buildAug(f)
+	sigs := cycleEquivalence(a)
+	split := buildSplit(a)
+	dom := cfg.Dominators(split.g)
+	pdom := cfg.Postdominators(split.g)
+
+	closeIdx := -1
+	for i, e := range a.edges {
+		if e.isClose {
+			closeIdx = i
+		}
+	}
+
+	var regions []*Region
+	for _, class := range groupClasses(sigs) {
+		// Drop the END->START edge from the chain; it orders last.
+		hasClose := false
+		edges := class[:0:0]
+		for _, i := range class {
+			if i == closeIdx {
+				hasClose = true
+				continue
+			}
+			edges = append(edges, i)
+		}
+		if len(edges) < 2 && !(hasClose && len(edges) >= 1) {
+			continue
+		}
+		// Order the class chain by dominance of the split nodes.
+		sort.Slice(edges, func(x, y int) bool {
+			nx, ny := split.edgeNode[edges[x]], split.edgeNode[edges[y]]
+			return dom.Level(nx) < dom.Level(ny)
+		})
+		// Verify the chain is totally ordered (defensive: theory says
+		// it always is; a hash collision would break it).
+		ok := true
+		for i := 0; i+1 < len(edges); i++ {
+			if !dom.Dominates(split.edgeNode[edges[i]], split.edgeNode[edges[i+1]]) {
+				ok = false
+				break
+			}
+		}
+		if !ok {
+			return nil, fmt.Errorf("pst.BuildMode(%s): cycle-equivalence class not chain-ordered (signature collision?)", f.Name)
+		}
+
+		// makeSpan builds the region between two chain positions; a to
+		// index of -1 means the virtual end (all procedure exits).
+		makeSpan := func(fromIdx, toIdx int) *Region {
+			first := a.edges[fromIdx]
+			r := &Region{in: make(map[int]bool)}
+			if !first.isEntry {
+				r.EntryEdge = first.real
+			}
+			var xn *ir.Block
+			if toIdx >= 0 {
+				last := a.edges[toIdx]
+				if last.real != nil {
+					r.ExitEdge = last.real
+				} else {
+					r.ExitBlock = last.exitFrom
+				}
+				xn = split.edgeNode[toIdx]
+			}
+			// Membership: block x is in region (a,b) iff node(a)
+			// dominates x and node(b) postdominates x in the edge-split
+			// graph.
+			en := split.edgeNode[fromIdx]
+			for _, b := range f.Blocks {
+				nb := split.blockNode[b.ID]
+				if !dom.Dominates(en, nb) {
+					continue
+				}
+				if xn != nil && !pdom.Dominates(xn, nb) {
+					continue
+				}
+				r.in[b.ID] = true
+				r.Blocks = append(r.Blocks, b)
+			}
+			return r
+		}
+		add := func(r *Region) {
+			if len(r.Blocks) > 0 {
+				regions = append(regions, r)
+			}
+		}
+
+		switch mode {
+		case Maximal:
+			if hasClose {
+				add(makeSpan(edges[0], -1))
+			} else {
+				add(makeSpan(edges[0], edges[len(edges)-1]))
+			}
+		case Canonical:
+			for i := 0; i+1 < len(edges); i++ {
+				add(makeSpan(edges[i], edges[i+1]))
+			}
+			if hasClose {
+				// The pair ending at the virtual close edge, plus the
+				// whole-procedure root all canonical regions nest in.
+				add(makeSpan(edges[len(edges)-1], -1))
+				if len(edges) > 1 {
+					add(makeSpan(edges[0], -1))
+				}
+			}
+		}
+	}
+
+	// Nesting: parent = smallest region strictly containing the child.
+	sort.Slice(regions, func(i, j int) bool {
+		if len(regions[i].Blocks) != len(regions[j].Blocks) {
+			return len(regions[i].Blocks) < len(regions[j].Blocks)
+		}
+		return regions[i].Blocks[0].ID < regions[j].Blocks[0].ID
+	})
+	var root *Region
+	for i, r := range regions {
+		for j := i + 1; j < len(regions); j++ {
+			if containsAll(regions[j], r) {
+				r.Parent = regions[j]
+				regions[j].Children = append(regions[j].Children, r)
+				break
+			}
+		}
+		if r.Parent == nil && len(r.Blocks) == len(f.Blocks) {
+			root = r
+		}
+	}
+	if root == nil {
+		// Should not happen: the class of START->entry always covers
+		// every block. Guard anyway.
+		return nil, fmt.Errorf("pst.BuildMode(%s): no root region found", f.Name)
+	}
+	// Any parentless non-root region hangs off the root (can occur if
+	// its blocks equal the whole function but it is not the aug chain;
+	// containsAll with equal sets attaches it above, so this is rare).
+	for _, r := range regions {
+		if r != root && r.Parent == nil {
+			r.Parent = root
+			root.Children = append(root.Children, r)
+		}
+	}
+	for _, r := range regions {
+		sort.Slice(r.Children, func(i, j int) bool {
+			return r.Children[i].Blocks[0].ID < r.Children[j].Blocks[0].ID
+		})
+		sort.Slice(r.Blocks, func(i, j int) bool { return r.Blocks[i].ID < r.Blocks[j].ID })
+	}
+	var setDepth func(r *Region, d int)
+	setDepth = func(r *Region, d int) {
+		r.Depth = d
+		for _, c := range r.Children {
+			setDepth(c, d+1)
+		}
+	}
+	setDepth(root, 0)
+
+	return &PST{Func: f, Root: root, Regions: regions}, nil
+}
+
+// containsAll reports whether outer strictly contains inner: a
+// superset of blocks and strictly larger.
+func containsAll(outer, inner *Region) bool {
+	if len(outer.Blocks) <= len(inner.Blocks) {
+		return false
+	}
+	for id := range inner.in {
+		if !outer.in[id] {
+			return false
+		}
+	}
+	return true
+}
+
+// BottomUp returns the regions in topological order for the paper's
+// traversal: every region appears after all of its children (smallest
+// regions first, root last).
+func (t *PST) BottomUp() []*Region {
+	var out []*Region
+	var walk func(r *Region)
+	walk = func(r *Region) {
+		for _, c := range r.Children {
+			walk(c)
+		}
+		out = append(out, r)
+	}
+	walk(t.Root)
+	return out
+}
+
+// SmallestContaining returns the innermost region containing block b.
+func (t *PST) SmallestContaining(b *ir.Block) *Region {
+	r := t.Root
+	for {
+		next := r
+		for _, c := range r.Children {
+			if c.ContainsBlock(b) {
+				next = c
+				break
+			}
+		}
+		if next == r {
+			return r
+		}
+		r = next
+	}
+}

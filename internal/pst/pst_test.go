@@ -1,0 +1,346 @@
+package pst
+
+import (
+	"testing"
+
+	"repro/internal/cfgtest"
+	"repro/internal/ir"
+	"repro/internal/workload"
+)
+
+func findRegion(t *testing.T, p *PST, entryFrom, entryTo string) *Region {
+	t.Helper()
+	for _, r := range p.Regions {
+		if r.EntryEdge != nil && r.EntryEdge.From.Name == entryFrom && r.EntryEdge.To.Name == entryTo {
+			return r
+		}
+	}
+	t.Fatalf("no region with entry edge %s->%s", entryFrom, entryTo)
+	return nil
+}
+
+func TestDiamondRegions(t *testing.T) {
+	f := cfgtest.MustBuild("diamond",
+		[]string{"A", "B", "C", "D"},
+		[]cfgtest.Edge{
+			cfgtest.E("A", "B", 30), cfgtest.E("A", "C", 70),
+			cfgtest.E("B", "D", 30), cfgtest.E("C", "D", 70),
+		})
+	p, err := Build(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Regions) != 3 {
+		t.Fatalf("regions = %d, want 3 (root + {B} + {C}):\n%v", len(p.Regions), p.Regions)
+	}
+	if p.Root == nil || !p.Root.IsRoot() || len(p.Root.Blocks) != 4 {
+		t.Fatalf("bad root: %v", p.Root)
+	}
+	rb := findRegion(t, p, "A", "B")
+	if cfgtest.Names(rb.Blocks) != "B" {
+		t.Errorf("region(A->B) blocks = %q, want B", cfgtest.Names(rb.Blocks))
+	}
+	if rb.ExitEdge == nil || rb.ExitEdge.To.Name != "D" {
+		t.Errorf("region(A->B) exit = %v", rb.ExitEdge)
+	}
+	if rb.Parent != p.Root {
+		t.Error("region(A->B) should be child of root")
+	}
+	if rb.EntryWeight(f) != 30 || rb.ExitWeight(f) != 30 {
+		t.Errorf("region(A->B) weights = %d/%d, want 30/30", rb.EntryWeight(f), rb.ExitWeight(f))
+	}
+}
+
+func TestStraightLineCollapsesToRoot(t *testing.T) {
+	f := cfgtest.MustBuild("line",
+		[]string{"A", "B", "C"},
+		[]cfgtest.Edge{cfgtest.E("A", "B", 5), cfgtest.E("B", "C", 5)})
+	p, err := Build(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// All edges have the same frequency, so maximality merges the
+	// whole chain into the root region alone.
+	if len(p.Regions) != 1 {
+		t.Fatalf("regions = %d, want 1 (root only): %v", len(p.Regions), p.Regions)
+	}
+}
+
+func TestLoopBodyNotSeparateRegion(t *testing.T) {
+	// A -> B; B -> B, B -> C: the loop entry and exit edges run at the
+	// same frequency as procedure entry, so only the root remains; the
+	// self-loop forms no region.
+	f := cfgtest.MustBuild("loop",
+		[]string{"A", "B", "C"},
+		[]cfgtest.Edge{
+			cfgtest.E("A", "B", 10),
+			cfgtest.E("B", "B", 90), cfgtest.E("B", "C", 10),
+		})
+	p, err := Build(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Regions) != 1 {
+		t.Fatalf("regions = %d, want 1: %v", len(p.Regions), p.Regions)
+	}
+}
+
+func TestLoopWithBodyRegion(t *testing.T) {
+	// A -> H; H -> B -> H (loop); H -> X. The body block B is entered
+	// from H and returns to H: edges H->B and B->H are cycle
+	// equivalent, giving a region {B} nested in the root.
+	f := cfgtest.MustBuild("loop2",
+		[]string{"A", "H", "B", "X"},
+		[]cfgtest.Edge{
+			cfgtest.E("A", "H", 10),
+			cfgtest.E("H", "B", 90), cfgtest.E("B", "H", 90),
+			cfgtest.E("H", "X", 10),
+		})
+	p, err := Build(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Regions) != 2 {
+		t.Fatalf("regions = %d, want 2: %v", len(p.Regions), p.Regions)
+	}
+	r := findRegion(t, p, "H", "B")
+	if cfgtest.Names(r.Blocks) != "B" {
+		t.Errorf("loop body region = %q, want B", cfgtest.Names(r.Blocks))
+	}
+	if r.EntryWeight(f) != 90 || r.ExitWeight(f) != 90 {
+		t.Errorf("loop body region weights %d/%d, want 90/90", r.EntryWeight(f), r.ExitWeight(f))
+	}
+}
+
+func TestMultiExit(t *testing.T) {
+	f := cfgtest.MustBuild("multi",
+		[]string{"A", "B", "C"},
+		[]cfgtest.Edge{cfgtest.E("A", "B", 40), cfgtest.E("A", "C", 60)})
+	p, err := Build(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Root == nil || len(p.Root.Blocks) != 3 {
+		t.Fatalf("bad root: %v", p.Root)
+	}
+	// Root exit weight = sum over both exits.
+	if w := p.Root.ExitWeight(f); w != 100 {
+		t.Errorf("root exit weight = %d, want 100", w)
+	}
+	// Regions {B} and {C} have augmented exit boundaries: the region's
+	// exit is the end of its specific exit block.
+	rb := findRegion(t, p, "A", "B")
+	if rb.ExitEdge != nil || rb.ExitBlock == nil || rb.ExitBlock.Name != "B" {
+		t.Errorf("region(A->B) exit should be end-of-B, got %v", rb)
+	}
+	if rb.ExitWeight(f) != 40 {
+		t.Errorf("region(A->B) exit weight = %d, want 40", rb.ExitWeight(f))
+	}
+}
+
+func TestFigure2Regions(t *testing.T) {
+	fig := workload.NewFigure2()
+	f := fig.Func
+	p, err := Build(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Regions) != 6 {
+		for _, r := range p.Regions {
+			t.Logf("  %v", r)
+		}
+		t.Fatalf("regions = %d, want 6 (root, R1, R2, R3, {E}, {N})", len(p.Regions))
+	}
+
+	r1 := findRegion(t, p, "B", "C")
+	r2 := findRegion(t, p, "A", "B")
+	r3 := findRegion(t, p, "A", "J")
+	re := findRegion(t, p, "D", "E")
+	rn := findRegion(t, p, "M", "N")
+	if got := cfgtest.Names(rn.Blocks); got != "N" {
+		t.Errorf("{N} region blocks = %q, want N", got)
+	}
+	if rn.Parent != r3 {
+		t.Errorf("{N}.Parent should be Region 3")
+	}
+
+	if got := cfgtest.Names(r1.Blocks); got != "C D E F" {
+		t.Errorf("Region 1 blocks = %q, want 'C D E F'", got)
+	}
+	if got := cfgtest.Names(r2.Blocks); got != "B C D E F G H I" {
+		t.Errorf("Region 2 blocks = %q", got)
+	}
+	if got := cfgtest.Names(r3.Blocks); got != "J K L M N O" {
+		t.Errorf("Region 3 blocks = %q", got)
+	}
+	if got := cfgtest.Names(re.Blocks); got != "E" {
+		t.Errorf("{E} region blocks = %q", got)
+	}
+
+	// Paper boundary costs: Region 1 = 100, Region 2 = 140,
+	// Region 3 = 60, Region 4 (root) = 200.
+	checkCost := func(name string, r *Region, want int64) {
+		t.Helper()
+		if got := r.EntryWeight(f) + r.ExitWeight(f); got != want {
+			t.Errorf("%s boundary cost = %d, want %d", name, got, want)
+		}
+	}
+	checkCost("Region 1", r1, 100)
+	checkCost("Region 2", r2, 140)
+	checkCost("Region 3", r3, 60)
+	checkCost("Region 4", p.Root, 200)
+
+	// Nesting: {E} in R1 in R2 in root; R3 in root.
+	if re.Parent != r1 {
+		t.Errorf("{E}.Parent = %v, want Region 1", re.Parent)
+	}
+	if r1.Parent != r2 {
+		t.Errorf("R1.Parent = %v, want Region 2", r1.Parent)
+	}
+	if r2.Parent != p.Root || r3.Parent != p.Root {
+		t.Error("R2 and R3 should be children of the root")
+	}
+
+	// Exit edges.
+	if r1.ExitEdge == nil || r1.ExitEdge.From.Name != "F" || r1.ExitEdge.To.Name != "G" {
+		t.Errorf("R1 exit = %v, want F->G", r1.ExitEdge)
+	}
+	if r2.ExitEdge == nil || r2.ExitEdge.From.Name != "I" {
+		t.Errorf("R2 exit = %v, want I->P", r2.ExitEdge)
+	}
+	if r3.ExitEdge == nil || r3.ExitEdge.From.Name != "O" {
+		t.Errorf("R3 exit = %v, want O->P", r3.ExitEdge)
+	}
+}
+
+func TestBottomUpOrder(t *testing.T) {
+	fig := workload.NewFigure2()
+	p, err := Build(fig.Func)
+	if err != nil {
+		t.Fatal(err)
+	}
+	order := p.BottomUp()
+	if len(order) != len(p.Regions) {
+		t.Fatalf("BottomUp returned %d regions, want %d", len(order), len(p.Regions))
+	}
+	pos := make(map[*Region]int)
+	for i, r := range order {
+		pos[r] = i
+	}
+	for _, r := range p.Regions {
+		for _, c := range r.Children {
+			if pos[c] >= pos[r] {
+				t.Errorf("child %v not before parent %v", c, r)
+			}
+		}
+	}
+	if order[len(order)-1] != p.Root {
+		t.Error("root must come last")
+	}
+}
+
+func TestSmallestContaining(t *testing.T) {
+	fig := workload.NewFigure2()
+	f := fig.Func
+	p, err := Build(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := map[string]string{
+		"E": "E",       // inside {E}
+		"D": "C D E F", // inside Region 1
+		"G": "B C D E F G H I",
+		"K": "J K L M N O",
+		"A": "", // root (all blocks)
+	}
+	for block, want := range cases {
+		r := p.SmallestContaining(f.BlockByName(block))
+		if want == "" {
+			if !r.IsRoot() {
+				t.Errorf("SmallestContaining(%s) = %v, want root", block, r)
+			}
+			continue
+		}
+		if got := cfgtest.Names(r.Blocks); got != want {
+			t.Errorf("SmallestContaining(%s) = %q, want %q", block, got, want)
+		}
+	}
+}
+
+func TestContainsEdge(t *testing.T) {
+	fig := workload.NewFigure2()
+	f := fig.Func
+	p, err := Build(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r1 := findRegion(t, p, "B", "C")
+	df := f.BlockByName("D").SuccEdge(f.BlockByName("F"))
+	if !r1.ContainsEdge(df) {
+		t.Error("Region 1 should contain edge D->F")
+	}
+	// The region's own boundary edges are not contained.
+	if r1.ContainsEdge(r1.EntryEdge) || r1.ContainsEdge(r1.ExitEdge) {
+		t.Error("region must not contain its own boundary edges")
+	}
+	fg := f.BlockByName("F").SuccEdge(f.BlockByName("G"))
+	r2 := findRegion(t, p, "A", "B")
+	if !r2.ContainsEdge(fg) {
+		t.Error("Region 2 should contain F->G (Region 1's exit edge)")
+	}
+}
+
+func TestRegionWellFormed(t *testing.T) {
+	// Structural invariants on every region of several graphs.
+	graphs := []*ir.Func{
+		workload.NewFigure2().Func,
+		workload.NewFigure1(20, 80).Func,
+		cfgtest.MustBuild("diamond",
+			[]string{"A", "B", "C", "D"},
+			[]cfgtest.Edge{
+				cfgtest.E("A", "B", 30), cfgtest.E("A", "C", 70),
+				cfgtest.E("B", "D", 30), cfgtest.E("C", "D", 70),
+			}),
+	}
+	for _, f := range graphs {
+		p, err := Build(f)
+		if err != nil {
+			t.Fatalf("%s: %v", f.Name, err)
+		}
+		for _, r := range p.Regions {
+			if r == p.Root {
+				continue
+			}
+			// Entry edge crosses into the region; exit crosses out.
+			if r.EntryEdge != nil {
+				if r.ContainsBlock(r.EntryEdge.From) || !r.ContainsBlock(r.EntryEdge.To) {
+					t.Errorf("%s: region %v entry edge does not cross boundary", f.Name, r)
+				}
+			}
+			if r.ExitEdge != nil {
+				if !r.ContainsBlock(r.ExitEdge.From) || r.ContainsBlock(r.ExitEdge.To) {
+					t.Errorf("%s: region %v exit edge does not cross boundary", f.Name, r)
+				}
+			}
+			// Parent strictly contains child.
+			if r.Parent != nil {
+				for _, b := range r.Blocks {
+					if !r.Parent.ContainsBlock(b) {
+						t.Errorf("%s: parent %v misses block %s of child %v", f.Name, r.Parent, b.Name, r)
+					}
+				}
+				if len(r.Parent.Blocks) <= len(r.Blocks) {
+					t.Errorf("%s: parent %v not larger than child %v", f.Name, r.Parent, r)
+				}
+			}
+			// Interior SESE frequency conservation: entry and exit
+			// boundary weights match.
+			if r.EntryEdge != nil && r.ExitEdge != nil {
+				if r.EntryWeight(f) != r.ExitWeight(f) {
+					t.Errorf("%s: region %v entry weight %d != exit weight %d",
+						f.Name, r, r.EntryWeight(f), r.ExitWeight(f))
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,135 @@
+package pst
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/cfgtest"
+	"repro/internal/ir"
+)
+
+// TestQuickPSTWellFormed: for random structured CFGs, the PST exists
+// and satisfies its structural invariants.
+func TestQuickPSTWellFormed(t *testing.T) {
+	check := func(seed uint64) bool {
+		f := cfgtest.RandomStructured(seed, 3)
+		if err := ir.Verify(f); err != nil {
+			t.Logf("seed %x: generator produced invalid CFG: %v", seed, err)
+			return false
+		}
+		p, err := Build(f)
+		if err != nil {
+			t.Logf("seed %x: %v", seed, err)
+			return false
+		}
+		return pstInvariants(t, f, p, seed)
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickCanonicalWellFormed: same invariants over canonical trees.
+func TestQuickCanonicalWellFormed(t *testing.T) {
+	check := func(seed uint64) bool {
+		f := cfgtest.RandomStructured(seed, 3)
+		p, err := BuildMode(f, Canonical)
+		if err != nil {
+			t.Logf("seed %x: %v", seed, err)
+			return false
+		}
+		return pstInvariants(t, f, p, seed)
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func pstInvariants(t *testing.T, f *ir.Func, p *PST, seed uint64) bool {
+	t.Helper()
+	ok := true
+	fail := func(format string, args ...any) {
+		t.Logf("seed %x: "+format, append([]any{seed}, args...)...)
+		ok = false
+	}
+	if p.Root == nil || len(p.Root.Blocks) != len(f.Blocks) {
+		fail("root missing or incomplete")
+		return false
+	}
+	for _, r := range p.Regions {
+		if r == p.Root {
+			continue
+		}
+		if r.Parent == nil {
+			fail("region %v unparented", r)
+			continue
+		}
+		// Child blocks inside parent.
+		for _, b := range r.Blocks {
+			if !r.Parent.ContainsBlock(b) {
+				fail("parent of %v misses %s", r, b.Name)
+			}
+		}
+		// Boundary edges cross the boundary.
+		if r.EntryEdge != nil &&
+			(r.ContainsBlock(r.EntryEdge.From) || !r.ContainsBlock(r.EntryEdge.To)) {
+			fail("region %v entry edge does not cross", r)
+		}
+		if r.ExitEdge != nil &&
+			(!r.ContainsBlock(r.ExitEdge.From) || r.ContainsBlock(r.ExitEdge.To)) {
+			fail("region %v exit edge does not cross", r)
+		}
+		// SESE frequency conservation.
+		if r.EntryEdge != nil && r.ExitEdge != nil &&
+			r.EntryWeight(f) != r.ExitWeight(f) {
+			fail("region %v entry %d != exit %d", r, r.EntryWeight(f), r.ExitWeight(f))
+		}
+		// Single entry: no edge from outside other than the entry edge.
+		for _, b := range r.Blocks {
+			for _, e := range b.Preds {
+				if !r.ContainsBlock(e.From) && e != r.EntryEdge && r.EntryEdge != nil {
+					fail("region %v has second entering edge %v", r, e)
+				}
+			}
+		}
+	}
+	// Bottom-up order: children strictly before parents.
+	pos := map[*Region]int{}
+	for i, r := range p.BottomUp() {
+		pos[r] = i
+	}
+	for _, r := range p.Regions {
+		if r.Parent != nil && pos[r] >= pos[r.Parent] {
+			fail("bottom-up order violated at %v", r)
+		}
+	}
+	return ok
+}
+
+// TestQuickSmallestContaining: the innermost region relation is
+// consistent with containment for random CFGs.
+func TestQuickSmallestContaining(t *testing.T) {
+	check := func(seed uint64) bool {
+		f := cfgtest.RandomStructured(seed, 2)
+		p, err := Build(f)
+		if err != nil {
+			return false
+		}
+		for _, b := range f.Blocks {
+			r := p.SmallestContaining(b)
+			if !r.ContainsBlock(b) {
+				return false
+			}
+			// No child of r contains b.
+			for _, c := range r.Children {
+				if c.ContainsBlock(b) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}

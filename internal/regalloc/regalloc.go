@@ -1,0 +1,521 @@
+// Package regalloc implements a Chaitin/Briggs style graph-coloring
+// register allocator over the toy IR, standing in for the allocator
+// the paper substitutes into GCC. It builds an interference graph
+// over virtual registers, simplifies with optimistic (Briggs) color
+// assignment, spills by a profile-weighted cost/degree heuristic, and
+// honors the machine's calling convention: virtual registers live
+// across a call may only receive callee-saved registers.
+//
+// Callee-saved save/restore code is deliberately NOT inserted here:
+// that is the post register allocation spill code placement problem
+// the rest of the repository studies. The allocator records which
+// callee-saved registers an allocation writes in Func.UsedCalleeSaved.
+package regalloc
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/dataflow"
+	"repro/internal/ir"
+	"repro/internal/machine"
+)
+
+// Result reports what the allocator did to one function.
+type Result struct {
+	// Spilled lists virtual registers sent to stack slots, in the
+	// order they were spilled.
+	Spilled []ir.Reg
+	// Iterations is the number of build-color rounds.
+	Iterations int
+	// UsedCalleeSaved mirrors Func.UsedCalleeSaved.
+	UsedCalleeSaved []ir.Reg
+}
+
+// maxRounds bounds spill-and-retry iteration; each round strictly
+// reduces live range lengths so this is never reached in practice.
+const maxRounds = 32
+
+// AllocateProgram allocates every function in the program.
+func AllocateProgram(p *ir.Program, m *machine.Desc) (map[string]*Result, error) {
+	out := make(map[string]*Result, len(p.Funcs))
+	for _, f := range p.FuncsInOrder() {
+		r, err := Allocate(f, m)
+		if err != nil {
+			return nil, err
+		}
+		out[f.Name] = r
+	}
+	return out, nil
+}
+
+// Allocate rewrites f in place, replacing every virtual register with
+// a physical register and inserting spill code where needed.
+func Allocate(f *ir.Func, m *machine.Desc) (*Result, error) {
+	if len(f.Params) > len(m.ArgRegs) {
+		return nil, fmt.Errorf("regalloc: %s has %d params, machine passes at most %d",
+			f.Name, len(f.Params), len(m.ArgRegs))
+	}
+	precolor := make(map[ir.Reg]ir.Reg)
+	lowerParams(f, m)
+	lowerReturns(f, m, precolor)
+
+	res := &Result{}
+	noSpill := make(map[ir.Reg]bool) // spill temps must not respill
+	for i, p := range f.Params {
+		precolor[p] = m.ArgRegs[i]
+	}
+
+	for round := 0; ; round++ {
+		if round >= maxRounds {
+			return nil, fmt.Errorf("regalloc: %s did not converge after %d rounds", f.Name, maxRounds)
+		}
+		res.Iterations++
+		g := buildGraph(f, m, precolor)
+		colors, spills := color(g, m, noSpill)
+		if len(spills) == 0 {
+			rewrite(f, colors)
+			res.UsedCalleeSaved = recordUsedCalleeSaved(f, m)
+			return res, nil
+		}
+		for _, v := range spills {
+			res.Spilled = append(res.Spilled, v)
+			insertSpillCode(f, v, noSpill)
+		}
+	}
+}
+
+// lowerParams pins incoming parameters to the machine's argument
+// registers: each param becomes a fresh virtual register that is
+// immediately moved into the original parameter virtual at function
+// entry, and the fresh virtual is precolored to the argument register.
+// This keeps argument passing in caller-saved registers, as real
+// conventions do.
+func lowerParams(f *ir.Func, m *machine.Desc) {
+	for i, old := range f.Params {
+		nv := f.NewVirt()
+		f.Params[i] = nv
+		mv := &ir.Instr{Op: ir.OpMov, Dst: old, Src1: nv, Src2: ir.NoReg}
+		// Insert moves in order after any previously inserted ones.
+		f.Entry.InsertBefore(i, mv)
+	}
+}
+
+// lowerReturns moves every returned value into the machine's return
+// register through a fresh precolored virtual: `ret v` becomes
+// `t = mov v; ret t` with t pinned to RetReg. Without this a return
+// value could be allocated to a callee-saved register, which the exit
+// restore would clobber.
+func lowerReturns(f *ir.Func, m *machine.Desc, precolor map[ir.Reg]ir.Reg) {
+	for _, b := range f.Blocks {
+		t := b.Terminator()
+		if t == nil || t.Op != ir.OpRet || !t.Src1.IsValid() {
+			continue
+		}
+		nv := f.NewVirt()
+		precolor[nv] = m.RetReg
+		mv := &ir.Instr{Op: ir.OpMov, Dst: nv, Src1: t.Src1, Src2: ir.NoReg}
+		b.InsertBeforeTerminator(mv)
+		t.Src1 = nv
+	}
+}
+
+// node is one interference graph vertex.
+type node struct {
+	reg      ir.Reg
+	adj      map[ir.Reg]bool
+	degree   int
+	cost     int64 // profile-weighted def+use count
+	crossing bool  // live across a call: callee-saved only
+	forbid   map[ir.Reg]bool
+	pre      ir.Reg // precolored register or NoReg
+	removed  bool
+}
+
+type graph struct {
+	nodes map[ir.Reg]*node
+	order []ir.Reg // deterministic iteration order
+}
+
+func (g *graph) node(r ir.Reg) *node {
+	n := g.nodes[r]
+	if n == nil {
+		n = &node{reg: r, adj: make(map[ir.Reg]bool), forbid: make(map[ir.Reg]bool), pre: ir.NoReg}
+		g.nodes[r] = n
+		g.order = append(g.order, r)
+	}
+	return n
+}
+
+func (g *graph) addEdge(a, b ir.Reg) {
+	if a == b {
+		return
+	}
+	na, nb := g.node(a), g.node(b)
+	if !na.adj[b] {
+		na.adj[b] = true
+		na.degree++
+		nb.adj[a] = true
+		nb.degree++
+	}
+}
+
+// buildGraph computes liveness and constructs the interference graph
+// over virtual registers.
+func buildGraph(f *ir.Func, m *machine.Desc, precolor map[ir.Reg]ir.Reg) *graph {
+	lv := dataflow.ComputeLiveness(f)
+	g := &graph{nodes: make(map[ir.Reg]*node)}
+
+	// Ensure every referenced virtual register has a node.
+	var buf []ir.Reg
+	for _, b := range f.Blocks {
+		w := b.ExecCount()
+		if w == 0 {
+			w = 1
+		}
+		for _, in := range b.Instrs {
+			if d := in.Def(); d.IsVirt() {
+				g.node(d).cost += w
+			}
+			for _, u := range in.Uses(buf[:0]) {
+				if u.IsVirt() {
+					g.node(u).cost += w
+				}
+			}
+			buf = buf[:0]
+		}
+	}
+
+	// Parameters are all simultaneously live at entry.
+	for i := 0; i < len(f.Params); i++ {
+		for j := i + 1; j < len(f.Params); j++ {
+			g.addEdge(f.Params[i], f.Params[j])
+		}
+	}
+
+	// Backward scan per block: def interferes with everything live
+	// after it; calls make crossing virtuals callee-saved-only.
+	for _, b := range f.Blocks {
+		live := lv.Out[b.ID].Clone()
+		for i := len(b.Instrs) - 1; i >= 0; i-- {
+			in := b.Instrs[i]
+			if d := in.Def(); d.IsVirt() {
+				live.ForEach(func(ri int) {
+					r := ir.Reg(ri)
+					if r.IsVirt() && r != d {
+						g.addEdge(d, r)
+					}
+				})
+			}
+			if d := in.Def(); d.IsValid() {
+				live.Clear(int(d))
+			}
+			if in.Op == ir.OpCall {
+				// Everything live across the call (after the def is
+				// removed) must avoid caller-saved registers.
+				live.ForEach(func(ri int) {
+					r := ir.Reg(ri)
+					if r.IsVirt() {
+						g.node(r).crossing = true
+					}
+				})
+			}
+			for _, u := range in.Uses(buf[:0]) {
+				if u.IsValid() {
+					live.Set(int(u))
+				}
+			}
+			buf = buf[:0]
+		}
+	}
+
+	for v, p := range precolor {
+		if n, ok := g.nodes[v]; ok {
+			n.pre = p
+		}
+	}
+	sort.Slice(g.order, func(i, j int) bool { return g.order[i] < g.order[j] })
+	return g
+}
+
+// allowedCount returns how many colors a node could take in principle.
+func allowedCount(n *node, m *machine.Desc) int {
+	if n.pre != ir.NoReg {
+		return 1
+	}
+	if n.crossing {
+		return m.NumCalleeSaved()
+	}
+	return m.NumRegs
+}
+
+// color runs simplify/select with optimistic coloring. It returns the
+// chosen colors, or the virtual registers to spill when coloring
+// failed.
+func color(g *graph, m *machine.Desc, noSpill map[ir.Reg]bool) (map[ir.Reg]ir.Reg, []ir.Reg) {
+	// Simplify: repeatedly remove a node with degree < allowed; if
+	// none qualifies, optimistically remove the cheapest (potential
+	// spill).
+	var stack []ir.Reg
+	remaining := len(g.order)
+	degree := make(map[ir.Reg]int, remaining)
+	for _, r := range g.order {
+		degree[r] = g.nodes[r].degree
+	}
+	removeNode := func(r ir.Reg) {
+		n := g.nodes[r]
+		n.removed = true
+		for a := range n.adj {
+			if !g.nodes[a].removed {
+				degree[a]--
+			}
+		}
+		stack = append(stack, r)
+		remaining--
+	}
+	for remaining > 0 {
+		found := false
+		for _, r := range g.order {
+			n := g.nodes[r]
+			if n.removed {
+				continue
+			}
+			if degree[r] < allowedCount(n, m) {
+				removeNode(r)
+				found = true
+				break
+			}
+		}
+		if found {
+			continue
+		}
+		// Optimistic push of the best spill candidate: lowest
+		// cost/degree ratio among spillable nodes.
+		var best ir.Reg = ir.NoReg
+		var bestScore float64
+		for _, r := range g.order {
+			n := g.nodes[r]
+			if n.removed || noSpill[r] || n.pre != ir.NoReg {
+				continue
+			}
+			d := degree[r]
+			if d == 0 {
+				d = 1
+			}
+			score := float64(n.cost) / float64(d)
+			if best == ir.NoReg || score < bestScore {
+				best, bestScore = r, score
+			}
+		}
+		if best == ir.NoReg {
+			// Only unspillable nodes left; push any.
+			for _, r := range g.order {
+				if !g.nodes[r].removed {
+					best = r
+					break
+				}
+			}
+		}
+		removeNode(best)
+	}
+
+	// Select in reverse order.
+	colors := make(map[ir.Reg]ir.Reg, len(stack))
+	var spills []ir.Reg
+	callerPref := m.CallerSaved()
+	calleePref := m.CalleeSaved()
+	for i := len(stack) - 1; i >= 0; i-- {
+		r := stack[i]
+		n := g.nodes[r]
+		inUse := make(map[ir.Reg]bool)
+		for a := range n.adj {
+			if c, ok := colors[a]; ok {
+				inUse[c] = true
+			}
+		}
+		var choice ir.Reg = ir.NoReg
+		if n.pre != ir.NoReg {
+			if inUse[n.pre] {
+				// A precolored conflict means a neighbor must spill,
+				// not the precolored node.
+				spills = append(spills, pickNeighborSpill(g, n, colors, noSpill))
+				continue
+			}
+			choice = n.pre
+		} else if n.crossing {
+			for _, c := range calleePref {
+				if !inUse[c] && !n.forbid[c] {
+					choice = c
+					break
+				}
+			}
+		} else {
+			// Prefer caller-saved (cheapest), then callee-saved.
+			for _, c := range callerPref {
+				if !inUse[c] && !n.forbid[c] {
+					choice = c
+					break
+				}
+			}
+			if choice == ir.NoReg {
+				for _, c := range calleePref {
+					if !inUse[c] && !n.forbid[c] {
+						choice = c
+						break
+					}
+				}
+			}
+		}
+		if choice == ir.NoReg {
+			spills = append(spills, r)
+			continue
+		}
+		colors[r] = choice
+	}
+	return colors, dedupRegs(spills)
+}
+
+// pickNeighborSpill selects the cheapest already-colored or pending
+// neighbor of a precolored node to spill.
+func pickNeighborSpill(g *graph, n *node, colors map[ir.Reg]ir.Reg, noSpill map[ir.Reg]bool) ir.Reg {
+	var best ir.Reg = ir.NoReg
+	var bestCost int64
+	for a := range n.adj {
+		na := g.nodes[a]
+		if na.pre != ir.NoReg || noSpill[a] {
+			continue
+		}
+		if best == ir.NoReg || na.cost < bestCost {
+			best, bestCost = a, na.cost
+		}
+	}
+	if best == ir.NoReg {
+		// Nothing reasonable; fall back to the precolored node itself
+		// (will error upstream if it recurs).
+		return n.reg
+	}
+	return best
+}
+
+func dedupRegs(rs []ir.Reg) []ir.Reg {
+	seen := make(map[ir.Reg]bool, len(rs))
+	out := rs[:0]
+	for _, r := range rs {
+		if !seen[r] {
+			seen[r] = true
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// insertSpillCode assigns v a stack slot and rewrites every use and
+// def through fresh short-lived temporaries.
+func insertSpillCode(f *ir.Func, v ir.Reg, noSpill map[ir.Reg]bool) {
+	slot := int64(f.SpillSlots)
+	f.SpillSlots++
+	var buf []ir.Reg
+	for _, b := range f.Blocks {
+		for i := 0; i < len(b.Instrs); i++ {
+			in := b.Instrs[i]
+			usesV := false
+			for _, u := range in.Uses(buf[:0]) {
+				if u == v {
+					usesV = true
+				}
+			}
+			buf = buf[:0]
+			if usesV {
+				t := f.NewVirt()
+				noSpill[t] = true
+				ld := &ir.Instr{Op: ir.OpSpillLoad, Dst: t, Src1: ir.NoReg, Src2: ir.NoReg,
+					Imm: slot, Flags: ir.FlagSpill}
+				b.InsertBefore(i, ld)
+				i++
+				replaceUses(b.Instrs[i], v, t)
+			}
+			if in.Def() == v {
+				t := f.NewVirt()
+				noSpill[t] = true
+				in.Dst = t
+				st := &ir.Instr{Op: ir.OpSpillStore, Dst: ir.NoReg, Src1: t, Src2: ir.NoReg,
+					Imm: slot, Flags: ir.FlagSpill}
+				b.InsertBefore(i+1, st)
+				i++
+			}
+		}
+	}
+	// Params cannot be spilled this way (they are precolored temps
+	// moved at entry), and v should no longer appear anywhere.
+}
+
+func replaceUses(in *ir.Instr, from, to ir.Reg) {
+	if in.Src1 == from {
+		in.Src1 = to
+	}
+	if in.Src2 == from {
+		in.Src2 = to
+	}
+	for i, a := range in.Args {
+		if a == from {
+			in.Args[i] = to
+		}
+	}
+}
+
+// rewrite replaces every virtual register with its color.
+func rewrite(f *ir.Func, colors map[ir.Reg]ir.Reg) {
+	sub := func(r ir.Reg) ir.Reg {
+		if r.IsVirt() {
+			if c, ok := colors[r]; ok {
+				return c
+			}
+			// Dead virtual never live anywhere: any caller-saved reg
+			// would do; keep it deterministic.
+			return ir.Phys(0)
+		}
+		return r
+	}
+	for _, b := range f.Blocks {
+		for _, in := range b.Instrs {
+			if in.Dst.IsValid() {
+				in.Dst = sub(in.Dst)
+			}
+			if in.Src1.IsValid() {
+				in.Src1 = sub(in.Src1)
+			}
+			if in.Src2.IsValid() {
+				in.Src2 = sub(in.Src2)
+			}
+			for i, a := range in.Args {
+				if a.IsValid() {
+					in.Args[i] = sub(a)
+				}
+			}
+		}
+	}
+	for i, p := range f.Params {
+		f.Params[i] = sub(p)
+	}
+	f.NumVirt = 0
+}
+
+// recordUsedCalleeSaved scans the allocated body for callee-saved
+// registers that are written and records them on the function.
+func recordUsedCalleeSaved(f *ir.Func, m *machine.Desc) []ir.Reg {
+	used := make(map[ir.Reg]bool)
+	for _, b := range f.Blocks {
+		for _, in := range b.Instrs {
+			if d := in.Def(); d.IsPhys() && m.IsCalleeSaved(d) {
+				used[d] = true
+			}
+		}
+	}
+	var out []ir.Reg
+	for r := range used {
+		out = append(out, r)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	f.UsedCalleeSaved = out
+	return out
+}

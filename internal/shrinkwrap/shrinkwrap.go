@@ -1,0 +1,301 @@
+// Package shrinkwrap implements Chow's shrink-wrapping placement of
+// callee-saved save/restore code (PLDI'88), in two modes:
+//
+//   - Original: Chow's published technique. Artificial data flow is
+//     propagated through loop bodies so spill code never lands inside
+//     a loop, and whenever the analysis would place spill code on a
+//     jump edge, artificial data flow is propagated along that edge
+//     and the analysis reiterated, so no spill code ever requires a
+//     jump block.
+//   - Seed: the paper's modified variant used to seed the hierarchical
+//     algorithm: no artificial data flow at all; spill code may sit on
+//     jump edges.
+//
+// Both modes return save/restore sets grouped web-style: one set per
+// connected region of blocks where the register is busy (referenced,
+// or carrying a live allocated value).
+package shrinkwrap
+
+import (
+	"sort"
+
+	"repro/internal/cfg"
+	"repro/internal/core"
+	"repro/internal/dataflow"
+	"repro/internal/ir"
+)
+
+// Mode selects the algorithm variant.
+type Mode int
+
+const (
+	// Seed is the paper's modified shrink-wrapping (section 4).
+	Seed Mode = iota
+	// Original is Chow's technique with artificial data flow.
+	Original
+)
+
+// String names the mode.
+func (m Mode) String() string {
+	if m == Original {
+		return "shrinkwrap-original"
+	}
+	return "shrinkwrap-seed"
+}
+
+// Compute returns the save/restore sets for every register in
+// f.UsedCalleeSaved under the chosen mode. Jump-cost sharers are
+// stamped on the result (relevant to the jump-edge cost model).
+func Compute(f *ir.Func, mode Mode) []*core.Set {
+	lv := dataflow.ComputeLiveness(f)
+	var loops *cfg.LoopForest
+	if mode == Original {
+		dom := cfg.Dominators(f)
+		loops = cfg.FindLoops(f, dom)
+	}
+	var sets []*core.Set
+	for _, reg := range f.UsedCalleeSaved {
+		sets = append(sets, computeReg(f, reg, mode, lv, loops)...)
+	}
+	core.AssignJumpSharers(sets)
+	return sets
+}
+
+// computeReg runs the analysis for one register.
+func computeReg(f *ir.Func, reg ir.Reg, mode Mode, lv *dataflow.Liveness, loops *cfg.LoopForest) []*core.Set {
+	busy := busyBlocks(f, reg, lv)
+	if mode == Original {
+		for {
+			maskLoops(f, busy, loops)
+			sets := placeSets(f, reg, busy, mode)
+			if !propagateJumpEdges(sets, busy) {
+				return sets
+			}
+			// Artificial data flow was added; reiterate.
+		}
+	}
+	return placeSets(f, reg, busy, mode)
+}
+
+// busyBlocks marks blocks where the register is busy: it is referenced
+// by an instruction, or the allocated value is live into the block
+// (covering gap blocks between a definition and a later use).
+func busyBlocks(f *ir.Func, reg ir.Reg, lv *dataflow.Liveness) []bool {
+	busy := make([]bool, len(f.Blocks))
+	var buf []ir.Reg
+	for _, b := range f.Blocks {
+		if lv.In[b.ID].Has(int(reg)) {
+			busy[b.ID] = true
+			continue
+		}
+		for _, in := range b.Instrs {
+			if in.Def() == reg {
+				busy[b.ID] = true
+				break
+			}
+			found := false
+			for _, u := range in.Uses(buf[:0]) {
+				if u == reg {
+					found = true
+					break
+				}
+			}
+			if found {
+				busy[b.ID] = true
+				break
+			}
+		}
+	}
+	return busy
+}
+
+// maskLoops propagates artificial data flow through loop bodies: if
+// any block of a natural loop is busy, every block of the loop becomes
+// busy, so no save or restore is ever placed inside the loop. Nested
+// loops are handled by iterating to a fixpoint.
+func maskLoops(f *ir.Func, busy []bool, loops *cfg.LoopForest) {
+	changed := true
+	for changed {
+		changed = false
+		for _, l := range loops.Loops {
+			any := false
+			for _, b := range l.Blocks {
+				if busy[b.ID] {
+					any = true
+					break
+				}
+			}
+			if !any {
+				continue
+			}
+			for _, b := range l.Blocks {
+				if !busy[b.ID] {
+					busy[b.ID] = true
+					changed = true
+				}
+			}
+		}
+	}
+}
+
+// propagateJumpEdges checks whether any location requires a jump block
+// (spill code on a jump edge proper). If so, it propagates artificial
+// data flow along those edges — a save's source block or a restore's
+// target block becomes busy — and reports true so the caller
+// reiterates the analysis.
+func propagateJumpEdges(sets []*core.Set, busy []bool) bool {
+	changed := false
+	for _, s := range sets {
+		for _, l := range s.Saves {
+			if l.NeedsJumpBlock() && !busy[l.Edge.From.ID] {
+				busy[l.Edge.From.ID] = true
+				changed = true
+			}
+		}
+		for _, l := range s.Restores {
+			if l.NeedsJumpBlock() && !busy[l.Edge.To.ID] {
+				busy[l.Edge.To.ID] = true
+				changed = true
+			}
+		}
+	}
+	return changed
+}
+
+// placeSets computes, for each connected busy component, the save
+// locations on edges entering it and restore locations on edges
+// leaving it, normalized to block head/tail form where all edges of a
+// block participate.
+func placeSets(f *ir.Func, reg ir.Reg, busy []bool, mode Mode) []*core.Set {
+	comp := components(f, busy)
+	nComp := 0
+	for _, c := range comp {
+		if c+1 > nComp {
+			nComp = c + 1
+		}
+	}
+	sets := make([]*core.Set, nComp)
+	for i := range sets {
+		sets[i] = &core.Set{Reg: reg, Seed: mode == Seed}
+	}
+
+	for _, b := range f.Blocks {
+		ci := comp[b.ID]
+		if ci < 0 {
+			continue
+		}
+		s := sets[ci]
+		// Saves: edges entering the component.
+		if len(b.Preds) == 0 {
+			// Procedure entry is busy: save at its head.
+			s.Saves = append(s.Saves, core.HeadLoc(b))
+		} else {
+			allOutside := true
+			for _, e := range b.Preds {
+				if comp[e.From.ID] == ci {
+					allOutside = false
+					break
+				}
+			}
+			if allOutside {
+				s.Saves = append(s.Saves, core.HeadLoc(b))
+			} else {
+				for _, e := range b.Preds {
+					if comp[e.From.ID] != ci {
+						s.Saves = append(s.Saves, core.EdgeLoc(e))
+					}
+				}
+			}
+		}
+		// Restores: edges leaving the component, or procedure exit.
+		if b.IsExit() {
+			s.Restores = append(s.Restores, core.TailLoc(b))
+			continue
+		}
+		allOutside := true
+		anyOutside := false
+		for _, e := range b.Succs {
+			if comp[e.To.ID] == ci {
+				allOutside = false
+			} else {
+				anyOutside = true
+			}
+		}
+		if !anyOutside {
+			continue
+		}
+		if allOutside {
+			s.Restores = append(s.Restores, core.TailLoc(b))
+		} else {
+			for _, e := range b.Succs {
+				if comp[e.To.ID] != ci {
+					s.Restores = append(s.Restores, core.EdgeLoc(e))
+				}
+			}
+		}
+	}
+
+	// Drop empty sets (no busy blocks) and order deterministically.
+	out := sets[:0]
+	for _, s := range sets {
+		if len(s.Saves) > 0 || len(s.Restores) > 0 {
+			out = append(out, s)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return firstLocID(out[i]) < firstLocID(out[j]) })
+	return out
+}
+
+func firstLocID(s *core.Set) int {
+	min := 1 << 30
+	for _, l := range s.Locations() {
+		id := 0
+		switch l.Kind {
+		case core.BlockHead, core.BlockTail:
+			id = l.Block.ID
+		case core.OnEdge:
+			id = l.Edge.To.ID
+		}
+		if id < min {
+			min = id
+		}
+	}
+	return min
+}
+
+// components labels each busy block with a component index (-1 for
+// non-busy blocks). Two busy blocks connected by a CFG edge are in the
+// same component.
+func components(f *ir.Func, busy []bool) []int {
+	comp := make([]int, len(f.Blocks))
+	for i := range comp {
+		comp[i] = -1
+	}
+	next := 0
+	for _, b := range f.Blocks {
+		if !busy[b.ID] || comp[b.ID] >= 0 {
+			continue
+		}
+		// Flood fill.
+		comp[b.ID] = next
+		stack := []*ir.Block{b}
+		for len(stack) > 0 {
+			x := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			for _, e := range x.Succs {
+				if busy[e.To.ID] && comp[e.To.ID] < 0 {
+					comp[e.To.ID] = next
+					stack = append(stack, e.To)
+				}
+			}
+			for _, e := range x.Preds {
+				if busy[e.From.ID] && comp[e.From.ID] < 0 {
+					comp[e.From.ID] = next
+					stack = append(stack, e.From)
+				}
+			}
+		}
+		next++
+	}
+	return comp
+}

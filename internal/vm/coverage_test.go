@@ -1,0 +1,154 @@
+package vm
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/ir"
+	"repro/internal/machine"
+)
+
+func TestNopAndSpillSlots(t *testing.T) {
+	bu := ir.NewBuilder("sp", 1)
+	bu.Block("entry")
+	bu.Emit(&ir.Instr{Op: ir.OpNop, Dst: ir.NoReg, Src1: ir.NoReg, Src2: ir.NoReg})
+	bu.Emit(&ir.Instr{Op: ir.OpSpillStore, Dst: ir.NoReg, Src1: bu.F.Params[0],
+		Src2: ir.NoReg, Imm: 2, Flags: ir.FlagSpill})
+	v := bu.F.NewVirt()
+	bu.Emit(&ir.Instr{Op: ir.OpSpillLoad, Dst: v, Src1: ir.NoReg, Src2: ir.NoReg,
+		Imm: 2, Flags: ir.FlagSpill})
+	bu.Ret(v)
+	p := ir.NewProgram()
+	p.Add(bu.Finish())
+	m := New(p, Config{})
+	got, err := m.Run(77)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 77 {
+		t.Errorf("spill roundtrip = %d, want 77", got)
+	}
+	if m.Stats.SpillLoads != 1 || m.Stats.SpillStores != 1 {
+		t.Errorf("spill counters = %d/%d", m.Stats.SpillLoads, m.Stats.SpillStores)
+	}
+	if m.Stats.Overhead() != 2 {
+		t.Errorf("overhead = %d, want 2", m.Stats.Overhead())
+	}
+}
+
+func TestWrongArity(t *testing.T) {
+	bu := ir.NewBuilder("f", 2)
+	bu.Block("entry")
+	bu.Ret(bu.F.Params[0])
+	p := ir.NewProgram()
+	p.Add(bu.Finish())
+	if _, err := New(p, Config{}).Run(1); err == nil || !strings.Contains(err.Error(), "args") {
+		t.Errorf("arity error not reported: %v", err)
+	}
+}
+
+func TestMissingMain(t *testing.T) {
+	p := ir.NewProgram()
+	p.Main = "ghost"
+	if _, err := New(p, Config{}).Run(); err == nil {
+		t.Error("missing main not reported")
+	}
+}
+
+func TestUndefinedCallee(t *testing.T) {
+	bu := ir.NewBuilder("f", 0)
+	bu.Block("entry")
+	bu.Call(ir.NoReg, "ghost")
+	bu.Ret(ir.NoReg)
+	p := ir.NewProgram()
+	p.Add(bu.Finish())
+	if _, err := New(p, Config{}).Run(); err == nil || !strings.Contains(err.Error(), "undefined") {
+		t.Errorf("undefined callee not reported: %v", err)
+	}
+}
+
+func TestStoreOutOfBounds(t *testing.T) {
+	bu := ir.NewBuilder("f", 0)
+	bu.Block("entry")
+	addr := bu.Const(-5)
+	val := bu.Const(1)
+	bu.Store(addr, 0, val)
+	bu.Ret(ir.NoReg)
+	p := ir.NewProgram()
+	p.Add(bu.Finish())
+	if _, err := New(p, Config{}).Run(); err == nil || !strings.Contains(err.Error(), "out of bounds") {
+		t.Errorf("negative store address not caught: %v", err)
+	}
+}
+
+func TestNestedCallsPreserveConvention(t *testing.T) {
+	// leaf saves/restores correctly; mid calls leaf twice; convention
+	// holds transitively.
+	m := machine.PARISC()
+	leaf := ir.NewBuilder("leaf", 1)
+	leaf.Block("entry")
+	leaf.Emit(&ir.Instr{Op: ir.OpSave, Dst: ir.NoReg, Src1: ir.Phys(11), Src2: ir.NoReg,
+		Imm: 0, Flags: ir.FlagSaveRestore})
+	leaf.Emit(&ir.Instr{Op: ir.OpConst, Dst: ir.Phys(11), Src1: ir.NoReg, Src2: ir.NoReg, Imm: 1})
+	leaf.Emit(&ir.Instr{Op: ir.OpRestore, Dst: ir.Phys(11), Src1: ir.NoReg, Src2: ir.NoReg,
+		Imm: 0, Flags: ir.FlagSaveRestore})
+	leaf.Ret(leaf.F.Params[0])
+	lf := leaf.Finish()
+	lf.SaveSlots = 1
+
+	mid := ir.NewBuilder("mid", 1)
+	mid.Block("entry")
+	r1 := mid.F.NewVirt()
+	mid.Call(r1, "leaf", mid.F.Params[0])
+	r2 := mid.F.NewVirt()
+	mid.Call(r2, "leaf", r1)
+	mid.Ret(r2)
+
+	p := ir.NewProgram()
+	p.Add(mid.Finish())
+	p.Add(lf)
+	p.Main = "mid"
+	v := New(p, Config{Machine: m})
+	got, err := v.Run(9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 9 {
+		t.Errorf("result = %d, want 9", got)
+	}
+	if v.Stats.Saves != 2 || v.Stats.Restores != 2 {
+		t.Errorf("save/restore = %d/%d, want 2/2", v.Stats.Saves, v.Stats.Restores)
+	}
+	if v.Stats.Calls["leaf"] != 2 {
+		t.Errorf("leaf calls = %d", v.Stats.Calls["leaf"])
+	}
+}
+
+func TestStatsLoadsIncludeAllClasses(t *testing.T) {
+	bu := ir.NewBuilder("f", 0)
+	bu.Block("entry")
+	// One of each memory class.
+	addr := bu.Const(10)
+	bu.Store(addr, 0, addr)
+	bu.Load(addr, 0)
+	bu.Emit(&ir.Instr{Op: ir.OpSpillStore, Dst: ir.NoReg, Src1: addr, Src2: ir.NoReg, Imm: 0})
+	v := bu.F.NewVirt()
+	bu.Emit(&ir.Instr{Op: ir.OpSpillLoad, Dst: v, Src1: ir.NoReg, Src2: ir.NoReg, Imm: 0})
+	bu.Emit(&ir.Instr{Op: ir.OpSave, Dst: ir.NoReg, Src1: ir.Phys(11), Src2: ir.NoReg, Imm: 0})
+	bu.Emit(&ir.Instr{Op: ir.OpRestore, Dst: ir.Phys(11), Src1: ir.NoReg, Src2: ir.NoReg, Imm: 0})
+	bu.Ret(ir.NoReg)
+	p := ir.NewProgram()
+	p.Add(bu.Finish())
+	m := New(p, Config{})
+	if _, err := m.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if m.Stats.Loads != 3 || m.Stats.Stores != 3 {
+		t.Errorf("loads/stores = %d/%d, want 3/3 (heap+spill+save classes)",
+			m.Stats.Loads, m.Stats.Stores)
+	}
+	// Unflagged spill/save instructions are not overhead.
+	if m.Stats.Overhead() != 0 {
+		t.Errorf("unflagged instructions counted as overhead: %d", m.Stats.Overhead())
+	}
+}

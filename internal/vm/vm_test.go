@@ -1,0 +1,257 @@
+package vm
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/ir"
+	"repro/internal/machine"
+)
+
+// fib builds an iterative fibonacci: fib(n).
+func fib() *ir.Program {
+	bu := ir.NewBuilder("fib", 1)
+	entry := bu.Block("entry")
+	loop := bu.F.NewBlock("loop")
+	exit := bu.F.NewBlock("exit")
+
+	n := bu.F.Params[0]
+	bu.SetCurrent(entry)
+	a := bu.F.NewVirt()
+	b := bu.F.NewVirt()
+	i := bu.F.NewVirt()
+	bu.ConstInto(a, 0)
+	bu.ConstInto(b, 1)
+	bu.ConstInto(i, 0)
+	bu.Jmp(loop, 0)
+
+	bu.SetCurrent(loop)
+	t := bu.Bin(ir.OpAdd, a, b)
+	bu.Mov(a, b)
+	bu.Mov(b, t)
+	one := bu.Const(1)
+	bu.BinInto(ir.OpAdd, i, i, one)
+	c := bu.Bin(ir.OpCmpLT, i, n)
+	bu.Br(c, loop, exit, 0, 0)
+
+	bu.SetCurrent(exit)
+	bu.Ret(a)
+
+	p := ir.NewProgram()
+	p.Add(bu.Finish())
+	return p
+}
+
+func TestArithmeticAndLoop(t *testing.T) {
+	p := fib()
+	got, err := New(p, Config{}).Run(10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 55 {
+		t.Errorf("fib(10) = %d, want 55", got)
+	}
+}
+
+func TestAllOpcodes(t *testing.T) {
+	cases := []struct {
+		op   ir.Op
+		a, b int64
+		want int64
+	}{
+		{ir.OpAdd, 7, 3, 10},
+		{ir.OpSub, 7, 3, 4},
+		{ir.OpMul, 7, 3, 21},
+		{ir.OpDiv, 7, 3, 2},
+		{ir.OpDiv, 7, 0, 0},
+		{ir.OpRem, 7, 3, 1},
+		{ir.OpRem, 7, 0, 0},
+		{ir.OpAnd, 6, 3, 2},
+		{ir.OpOr, 6, 3, 7},
+		{ir.OpXor, 6, 3, 5},
+		{ir.OpShl, 3, 2, 12},
+		{ir.OpShr, 12, 2, 3},
+		{ir.OpCmpEQ, 4, 4, 1},
+		{ir.OpCmpNE, 4, 4, 0},
+		{ir.OpCmpLT, 3, 4, 1},
+		{ir.OpCmpLE, 4, 4, 1},
+		{ir.OpCmpGT, 4, 3, 1},
+		{ir.OpCmpGE, 3, 4, 0},
+	}
+	for _, c := range cases {
+		bu := ir.NewBuilder("f", 2)
+		bu.Block("entry")
+		r := bu.Bin(c.op, bu.F.Params[0], bu.F.Params[1])
+		bu.Ret(r)
+		p := ir.NewProgram()
+		p.Add(bu.Finish())
+		got, err := New(p, Config{}).Run(c.a, c.b)
+		if err != nil {
+			t.Fatalf("%v: %v", c.op, err)
+		}
+		if got != c.want {
+			t.Errorf("%v(%d,%d) = %d, want %d", c.op, c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestUnaryOps(t *testing.T) {
+	bu := ir.NewBuilder("f", 1)
+	bu.Block("entry")
+	n := bu.F.NewVirt()
+	bu.Emit(&ir.Instr{Op: ir.OpNeg, Dst: n, Src1: bu.F.Params[0], Src2: ir.NoReg})
+	bu.Ret(n)
+	p := ir.NewProgram()
+	p.Add(bu.Finish())
+	got, err := New(p, Config{}).Run(9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != -9 {
+		t.Errorf("neg(9) = %d, want -9", got)
+	}
+}
+
+func TestHeapLoadStore(t *testing.T) {
+	bu := ir.NewBuilder("f", 0)
+	bu.Block("entry")
+	addr := bu.Const(100)
+	val := bu.Const(42)
+	bu.Store(addr, 5, val)
+	got := bu.Load(addr, 5)
+	bu.Ret(got)
+	p := ir.NewProgram()
+	p.Add(bu.Finish())
+	v := New(p, Config{})
+	r, err := v.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r != 42 {
+		t.Errorf("heap roundtrip = %d, want 42", r)
+	}
+	if v.Stats.Loads != 1 || v.Stats.Stores != 1 {
+		t.Errorf("loads/stores = %d/%d, want 1/1", v.Stats.Loads, v.Stats.Stores)
+	}
+}
+
+func TestHeapBounds(t *testing.T) {
+	bu := ir.NewBuilder("f", 0)
+	bu.Block("entry")
+	addr := bu.Const(1 << 20)
+	got := bu.Load(addr, 0)
+	bu.Ret(got)
+	p := ir.NewProgram()
+	p.Add(bu.Finish())
+	if _, err := New(p, Config{}).Run(); err == nil || !strings.Contains(err.Error(), "out of bounds") {
+		t.Errorf("expected bounds error, got %v", err)
+	}
+}
+
+func TestStepLimit(t *testing.T) {
+	bu := ir.NewBuilder("f", 0)
+	loop := bu.Block("loop")
+	bu.Jmp(loop, 0)
+	p := ir.NewProgram()
+	p.Add(bu.F)
+	bu.F.RenumberBlocks()
+	bu.F.ClassifyEdges()
+	if _, err := New(p, Config{MaxSteps: 1000}).Run(); err == nil {
+		t.Error("expected step limit error for infinite loop")
+	}
+}
+
+func TestCallDepthLimit(t *testing.T) {
+	bu := ir.NewBuilder("f", 0)
+	bu.Block("entry")
+	r := bu.F.NewVirt()
+	bu.Call(r, "f")
+	bu.Ret(r)
+	p := ir.NewProgram()
+	p.Add(bu.Finish())
+	if _, err := New(p, Config{}).Run(); err == nil || !strings.Contains(err.Error(), "depth") {
+		t.Errorf("expected depth error, got %v", err)
+	}
+}
+
+func TestConventionEnforcement(t *testing.T) {
+	// clobber() writes r12 without saving it.
+	m := machine.PARISC()
+	cb := ir.NewBuilder("clobber", 0)
+	cb.Block("entry")
+	cb.Emit(&ir.Instr{Op: ir.OpConst, Dst: ir.Phys(12), Src1: ir.NoReg, Src2: ir.NoReg, Imm: 99})
+	cb.Ret(ir.NoReg)
+
+	mb := ir.NewBuilder("main", 0)
+	mb.Block("entry")
+	mb.Call(ir.NoReg, "clobber")
+	mb.Ret(ir.NoReg)
+
+	p := ir.NewProgram()
+	p.Add(mb.Finish())
+	p.Add(cb.Finish())
+	p.Main = "main"
+
+	if _, err := New(p, Config{Machine: m}).Run(); err == nil || !strings.Contains(err.Error(), "convention") {
+		t.Fatalf("expected convention violation, got %v", err)
+	}
+	// Without enforcement it runs fine.
+	if _, err := New(p, Config{}).Run(); err != nil {
+		t.Fatalf("unexpected error without enforcement: %v", err)
+	}
+}
+
+func TestConventionSatisfiedWithSaveRestore(t *testing.T) {
+	m := machine.PARISC()
+	cb := ir.NewBuilder("good", 0)
+	cb.Block("entry")
+	cb.Emit(&ir.Instr{Op: ir.OpSave, Dst: ir.NoReg, Src1: ir.Phys(12), Src2: ir.NoReg,
+		Imm: 0, Flags: ir.FlagSaveRestore})
+	cb.Emit(&ir.Instr{Op: ir.OpConst, Dst: ir.Phys(12), Src1: ir.NoReg, Src2: ir.NoReg, Imm: 99})
+	cb.Emit(&ir.Instr{Op: ir.OpRestore, Dst: ir.Phys(12), Src1: ir.NoReg, Src2: ir.NoReg,
+		Imm: 0, Flags: ir.FlagSaveRestore})
+	cb.Ret(ir.NoReg)
+	cb.F.SaveSlots = 1
+
+	mb := ir.NewBuilder("main", 0)
+	mb.Block("entry")
+	mb.Call(ir.NoReg, "good")
+	mb.Ret(ir.NoReg)
+
+	p := ir.NewProgram()
+	p.Add(mb.Finish())
+	p.Add(cb.Finish())
+	p.Main = "main"
+
+	v := New(p, Config{Machine: m})
+	if _, err := v.Run(); err != nil {
+		t.Fatalf("save/restore should satisfy the convention: %v", err)
+	}
+	if v.Stats.Saves != 1 || v.Stats.Restores != 1 {
+		t.Errorf("saves/restores = %d/%d, want 1/1", v.Stats.Saves, v.Stats.Restores)
+	}
+	if v.Stats.Overhead() != 2 {
+		t.Errorf("overhead = %d, want 2", v.Stats.Overhead())
+	}
+}
+
+func TestEdgeCollection(t *testing.T) {
+	p := fib()
+	v := New(p, Config{CollectEdges: true})
+	if _, err := v.Run(10); err != nil {
+		t.Fatal(err)
+	}
+	f := p.Func("fib")
+	loop := f.BlockByName("loop")
+	back := loop.SuccEdge(loop)
+	if v.EdgeCount[back] != 9 {
+		t.Errorf("back edge count = %d, want 9", v.EdgeCount[back])
+	}
+	exitE := loop.SuccEdge(f.BlockByName("exit"))
+	if v.EdgeCount[exitE] != 1 {
+		t.Errorf("exit edge count = %d, want 1", v.EdgeCount[exitE])
+	}
+	if v.Stats.Calls["fib"] != 1 {
+		t.Errorf("fib calls = %d, want 1", v.Stats.Calls["fib"])
+	}
+}

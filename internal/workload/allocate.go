@@ -1,0 +1,32 @@
+package workload
+
+import (
+	"fmt"
+
+	"repro/internal/ir"
+)
+
+// AllocateGroup materializes a callee-saved register allocation over a
+// group of blocks: the register is defined (clobbered) in the first
+// named block and its value used in the last, making it live across
+// the whole group exactly as an allocated variable would be. A group
+// of one block defines and uses the register in place.
+//
+// The instructions are inserted before each block's terminator and
+// carry no overhead flags: they model the program's own use of the
+// register after allocation.
+func AllocateGroup(f *ir.Func, reg ir.Reg, group ...string) {
+	if len(group) == 0 {
+		panic("workload.AllocateGroup: empty group")
+	}
+	first := f.BlockByName(group[0])
+	last := f.BlockByName(group[len(group)-1])
+	if first == nil || last == nil {
+		panic(fmt.Sprintf("workload.AllocateGroup: unknown block in %v", group))
+	}
+	def := &ir.Instr{Op: ir.OpConst, Dst: reg, Src1: ir.NoReg, Src2: ir.NoReg, Imm: 7}
+	first.InsertBeforeTerminator(def)
+	sink := f.NewVirt()
+	use := &ir.Instr{Op: ir.OpMov, Dst: sink, Src1: reg, Src2: ir.NoReg}
+	last.InsertBeforeTerminator(use)
+}

@@ -1,0 +1,119 @@
+// Package workload provides the control flow graphs used by the
+// paper's worked examples (Figures 1-4) and synthetic SPEC CPU2000
+// integer benchmark stand-ins for the evaluation (Figure 5, Tables
+// 1-2).
+package workload
+
+import (
+	"repro/internal/cfgtest"
+	"repro/internal/ir"
+)
+
+// Figure2 is the paper's motivating example (Figures 2, 3 and 4),
+// reconstructed from the numeric constraints in the text. The figure
+// itself is not machine-readable, so the CFG below is built to satisfy
+// every number the paper states:
+//
+//   - entry/exit placement cost: 200 (entry 100 + exit 100)
+//   - Chow's original shrink-wrapping placement cost: 250
+//     (saves before C, H, K, N; restores after F, H, K, N)
+//   - initial (modified shrink-wrap) save/restore sets:
+//     Set 1 = 80, Set 2 = 50, Set 3 = 50, Set 4 = 50
+//   - maximal SESE region boundary costs: Region 1 = 100 (around
+//     Set 1), Region 2 = 140 (contains Sets 1-2), Region 3 = 60
+//     (contains Sets 3-4), Region 4 = 200 (whole procedure)
+//   - Set 1's save is at the head of block D (weight 40), one restore
+//     at the tail of E (10), and one restore must sit on the D->F
+//     jump edge (30), so its jump-edge-model cost is 110
+//   - exec-count model result: Sets 1, 2 and a new Set 5 at Region 3's
+//     boundaries, total 190
+//   - jump-edge model result: everything collapses to procedure
+//     entry/exit, total 200
+//
+// The paper's figure labels the second allocated block G; in this
+// reconstruction the corresponding shaded block is H (G is the branch
+// block that feeds it), and similarly for interior filler blocks. The
+// shaded (callee-saved allocated) blocks are D, E, H, K and N.
+type Figure2 struct {
+	Func *ir.Func
+	// Allocated lists the blocks in which a callee-saved register is
+	// allocated (the shaded blocks), keyed by block name.
+	Allocated map[string]bool
+	// Reg is the callee-saved register allocated in the shaded blocks.
+	Reg ir.Reg
+}
+
+// NewFigure2 builds the example.
+func NewFigure2() *Figure2 {
+	e := cfgtest.E
+	f := cfgtest.MustBuild("figure2",
+		[]string{"A", "B", "C", "D", "E", "F", "G", "H", "I", "J", "K", "L", "M", "N", "O", "P"},
+		[]cfgtest.Edge{
+			// Region 2 (A->B .. I->P) and inside it Region 1 (B->C .. F->G).
+			e("A", "B", 70), e("A", "J", 30),
+			e("B", "C", 50), e("B", "H", 20),
+			e("C", "D", 40), e("C", "F", 10),
+			e("D", "E", 10), e("D", "F", 30),
+			e("E", "F", 10),
+			e("F", "G", 50),
+			e("G", "H", 5), e("G", "I", 45),
+			e("H", "I", 25),
+			e("I", "P", 70),
+			// Region 3 (A->J .. O->P).
+			e("J", "K", 20), e("J", "L", 10),
+			e("L", "K", 5), e("L", "M", 5),
+			e("K", "M", 25),
+			e("M", "N", 25), e("M", "O", 5),
+			e("N", "O", 25),
+			e("O", "P", 30),
+		})
+	f.EntryCount = 100
+	reg := ir.Phys(12) // a callee-saved register on the modeled machine
+	f.UsedCalleeSaved = []ir.Reg{reg}
+	// The allocated (shaded) regions: a two-block web spanning D-E,
+	// and single-block webs in H, K and N.
+	AllocateGroup(f, reg, "D", "E")
+	AllocateGroup(f, reg, "H")
+	AllocateGroup(f, reg, "K")
+	AllocateGroup(f, reg, "N")
+	return &Figure2{
+		Func:      f,
+		Allocated: map[string]bool{"D": true, "E": true, "H": true, "K": true, "N": true},
+		Reg:       reg,
+	}
+}
+
+// Figure1 is Chow's example from the paper's Figure 1: a procedure
+// where two conditionally executed basic blocks have a callee-saved
+// register allocated. Shrink-wrapping beats entry/exit placement only
+// when the average execution count of the two shaded blocks is below
+// the procedure's entry count; the hot/cold parameter selects which.
+type Figure1 struct {
+	Func      *ir.Func
+	Allocated map[string]bool
+	Reg       ir.Reg
+}
+
+// NewFigure1 builds the example. w1 and w2 are the execution counts of
+// the two shaded blocks B and E; the procedure entry count is 100.
+func NewFigure1(w1, w2 int64) *Figure1 {
+	e := cfgtest.E
+	f := cfgtest.MustBuild("figure1",
+		[]string{"A", "B", "C", "D", "E", "F", "G"},
+		[]cfgtest.Edge{
+			e("A", "B", w1), e("A", "C", 100-w1),
+			e("B", "D", w1), e("C", "D", 100-w1),
+			e("D", "E", w2), e("D", "F", 100-w2),
+			e("E", "G", w2), e("F", "G", 100-w2),
+		})
+	f.EntryCount = 100
+	reg := ir.Phys(12)
+	f.UsedCalleeSaved = []ir.Reg{reg}
+	AllocateGroup(f, reg, "B")
+	AllocateGroup(f, reg, "E")
+	return &Figure1{
+		Func:      f,
+		Allocated: map[string]bool{"B": true, "E": true},
+		Reg:       reg,
+	}
+}

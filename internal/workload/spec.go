@@ -1,0 +1,461 @@
+package workload
+
+import (
+	"repro/internal/ir"
+)
+
+// BenchParams parameterizes a synthetic stand-in for one SPEC CPU2000
+// integer benchmark. The paper's dynamic spill overhead is a function
+// of CFG structure, profile skew, and where values live across calls;
+// each parameter steers one of those traits:
+//
+//   - Procs/Segments: static program size (gcc is by far the largest).
+//   - LoopProb/NestedLoopProb/LoopTrip: loop-dominated shapes (gzip,
+//     bzip2, twolf) where Chow's loop masking hoists saves to loop
+//     boundaries executed as often as — or more often than — entry.
+//   - CallProb/ColdCallThresh: calls guarded by cold branches inside
+//     hot code (gcc, crafty's goto-heavy procedures) where placement
+//     on jump edges wins big.
+//   - LiveAcrossProb: how often a value spans a call, forcing the
+//     allocator to reach for callee-saved registers at all (mcf's tiny
+//     procedures rarely do).
+type BenchParams struct {
+	Name string
+	Seed uint64
+
+	Procs    int // callable procedures besides main
+	Segments int // top-level segments per procedure
+
+	LoopProb       float64 // segment is a loop
+	NestedLoopProb float64 // loop body contains an inner loop
+	LoopTrip       int64   // iterations per loop level
+
+	CallProb       float64 // segment performs a call
+	ColdCallProb   float64 // the call is guarded by a cold branch
+	ColdCallThresh int64   // cold condition: (x & 255) < thresh
+	WarmThresh     int64   // warm condition threshold (of 256)
+
+	LiveAcrossProb float64 // extra value defined before, used after call
+	LoopGuardProb  float64 // loop segment wrapped in a warm conditional
+	// WebBranchProb makes a live-across value's last use conditional:
+	// the web then spans a branch, its restore lands on a jump edge,
+	// and Chow's original technique must propagate artificial data
+	// flow (growing the region toward procedure scope) while the
+	// hierarchical algorithm can pay for the jump block or hoist to
+	// the cheapest region boundary. This is the paper's D-E-F pattern.
+	WebBranchProb float64
+	// OuterLoopProb wraps a procedure's whole body in one outer loop,
+	// the dominant shape of loop-driven programs: its induction
+	// variable (and the threaded accumulator) live across every call
+	// inside, creating one procedure-spanning callee-saved web that
+	// merges interior webs under Chow's loop masking — pushing
+	// shrink-wrapping's placement to ~entry/exit cost for that
+	// register, while other registers' interior webs remain for the
+	// hierarchical algorithm to optimize.
+	OuterLoopProb float64
+	// InLoopCallFactor scales CallProb inside loop bodies. Calls in
+	// loops put the loop's induction variable and the accumulator in
+	// callee-saved registers with loop-spanning (hot) webs; when such
+	// a web shares a register with cheap cold webs, the per-register
+	// total exceeds entry/exit cost and the hierarchical algorithm
+	// rightly collapses to entry/exit. Branch-heavy programs like gcc
+	// and crafty keep their inner loops call-free, leaving the cold
+	// webs on registers of their own — the paper's big wins.
+	InLoopCallFactor float64
+	// ExtraLiveProb adds a second value live across the same call
+	// site. The two values interfere, spreading a procedure's cold
+	// webs over two callee-saved registers; entry/exit placement pays
+	// for both registers on every invocation while the hierarchical
+	// algorithm pays only the cold counts (crafty's deep win).
+	ExtraLiveProb float64
+	StraightLen   int // arithmetic chain length per segment
+
+	DriverIters int64 // main-loop iterations during profiling
+}
+
+// SPECInt2000 returns the eleven benchmark stand-ins in the paper's
+// order (the C++ benchmark eon was excluded there too).
+func SPECInt2000() []BenchParams {
+	return []BenchParams{
+		// gzip: loop-heavy compressor; calls inside nested loops make
+		// shrink-wrapping slightly worse than entry/exit.
+		{Name: "gzip", Seed: 214554267157349, Procs: 8, Segments: 4, LoopProb: 0.376, NestedLoopProb: 0.5,
+			LoopTrip: 6, CallProb: 0.459, ColdCallProb: 0.356, ColdCallThresh: 26, WarmThresh: 128,
+			LiveAcrossProb: 0.614, LoopGuardProb: 0.431, WebBranchProb: 0.379, OuterLoopProb: 0.753, InLoopCallFactor: 0.5, StraightLen: 4, DriverIters: 40},
+		// vpr: placement/routing; moderate structure, little to gain.
+		{Name: "vpr", Seed: 47241732837425, Procs: 10, Segments: 3, LoopProb: 0.4, NestedLoopProb: 0.182,
+			LoopTrip: 5, CallProb: 0.45, ColdCallProb: 0.15, ColdCallThresh: 26, WarmThresh: 128,
+			LiveAcrossProb: 0.516, LoopGuardProb: 0.15, WebBranchProb: 0.876, OuterLoopProb: 0.65, InLoopCallFactor: 0.224, StraightLen: 5, DriverIters: 40},
+		// gcc: the largest program; many unconditional jumps and cold
+		// paths — the biggest hierarchical win in the paper.
+		{Name: "gcc", Seed: 83294926439557, Procs: 24, Segments: 8, LoopProb: 0.365, NestedLoopProb: 0.215,
+			LoopTrip: 5, CallProb: 0.574, ColdCallProb: 0.892, ColdCallThresh: 18, WarmThresh: 128,
+			LiveAcrossProb: 0.859, LoopGuardProb: 0.459, WebBranchProb: 0.0, OuterLoopProb: 0.85, InLoopCallFactor: 0.0, ExtraLiveProb: 0.5, StraightLen: 4, DriverIters: 30},
+		// mcf: tiny procedures, few callee-saved registers needed.
+		{Name: "mcf", Seed: 15604, Procs: 6, Segments: 2, LoopProb: 0.3, NestedLoopProb: 0.0,
+			LoopTrip: 4, CallProb: 0.15, ColdCallProb: 0.1, ColdCallThresh: 26, WarmThresh: 128,
+			LiveAcrossProb: 0.1, LoopGuardProb: 0.1, WebBranchProb: 0.0, OuterLoopProb: 0.2, InLoopCallFactor: 0.3, StraightLen: 3, DriverIters: 40},
+		// crafty: chess search full of gotos; cold calls inside hot
+		// search loops — the paper's other big win.
+		{Name: "crafty", Seed: 0x1008, Procs: 12, Segments: 8, LoopProb: 0.39, NestedLoopProb: 0.495,
+			LoopTrip: 6, CallProb: 0.61, ColdCallProb: 0.95, ColdCallThresh: 6, WarmThresh: 128,
+			LiveAcrossProb: 0.871, LoopGuardProb: 0.348, WebBranchProb: 0.131, OuterLoopProb: 0.92, InLoopCallFactor: 0.073, ExtraLiveProb: 0.9, StraightLen: 4, DriverIters: 30},
+		// parser: word parsing; mixed shape.
+		{Name: "parser", Seed: 268060587757101, Procs: 12, Segments: 4, LoopProb: 0.408, NestedLoopProb: 0.25,
+			LoopTrip: 5, CallProb: 0.397, ColdCallProb: 0.428, ColdCallThresh: 26, WarmThresh: 128,
+			LiveAcrossProb: 0.628, LoopGuardProb: 0.278, WebBranchProb: 0.522, OuterLoopProb: 0.739, InLoopCallFactor: 0.165, StraightLen: 4, DriverIters: 35},
+		// perlbmk: interpreter dispatch; moderate win.
+		{Name: "perlbmk", Seed: 13960629700995, Procs: 14, Segments: 4, LoopProb: 0.4, NestedLoopProb: 0.252,
+			LoopTrip: 5, CallProb: 0.577, ColdCallProb: 0.537, ColdCallThresh: 26, WarmThresh: 128,
+			LiveAcrossProb: 0.579, LoopGuardProb: 0.35, WebBranchProb: 0.5, OuterLoopProb: 0.577, InLoopCallFactor: 0.312, StraightLen: 4, DriverIters: 35},
+		// gap: group theory; computation with scattered calls.
+		{Name: "gap", Seed: 250842073366055, Procs: 12, Segments: 4, LoopProb: 0.643, NestedLoopProb: 0.394,
+			LoopTrip: 5, CallProb: 0.617, ColdCallProb: 0.567, ColdCallThresh: 26, WarmThresh: 128,
+			LiveAcrossProb: 0.318, LoopGuardProb: 0.313, WebBranchProb: 0.56, OuterLoopProb: 0.567, InLoopCallFactor: 0.133, StraightLen: 4, DriverIters: 35},
+		// vortex: OO database; call-dense but balanced paths.
+		{Name: "vortex", Seed: 49533770589047, Procs: 14, Segments: 3, LoopProb: 0.35, NestedLoopProb: 0.246,
+			LoopTrip: 5, CallProb: 0.729, ColdCallProb: 0.02, ColdCallThresh: 26, WarmThresh: 235,
+			LiveAcrossProb: 0.589, LoopGuardProb: 0.071, WebBranchProb: 0.675, OuterLoopProb: 0.562, InLoopCallFactor: 0.353, StraightLen: 4, DriverIters: 35},
+		// bzip2: like gzip, loop-dominated; shrink-wrap slightly loses.
+		{Name: "bzip2", Seed: 161979224943855, Procs: 8, Segments: 4, LoopProb: 0.569, NestedLoopProb: 0.55,
+			LoopTrip: 6, CallProb: 0.5, ColdCallProb: 0.15, ColdCallThresh: 26, WarmThresh: 128,
+			LiveAcrossProb: 0.65, LoopGuardProb: 0.399, WebBranchProb: 0.297, OuterLoopProb: 0.476, InLoopCallFactor: 0.525, StraightLen: 4, DriverIters: 40},
+		// twolf: place-and-route with hot nested loops; shrink-wrap's
+		// worst case in the paper.
+		{Name: "twolf", Seed: 109965393325915, Procs: 10, Segments: 4, LoopProb: 0.7, NestedLoopProb: 0.431,
+			LoopTrip: 7, CallProb: 0.443, ColdCallProb: 0.469, ColdCallThresh: 26, WarmThresh: 128,
+			LiveAcrossProb: 0.713, LoopGuardProb: 0.316, WebBranchProb: 0.466, OuterLoopProb: 0.612, InLoopCallFactor: 0.6, StraightLen: 4, DriverIters: 35},
+	}
+}
+
+// rng is a deterministic xorshift64* generator.
+type rng uint64
+
+func newRng(seed uint64) *rng {
+	if seed == 0 {
+		seed = 1
+	}
+	r := rng(seed)
+	return &r
+}
+
+func (r *rng) next() uint64 {
+	x := uint64(*r)
+	x ^= x >> 12
+	x ^= x << 25
+	x ^= x >> 27
+	*r = rng(x)
+	return x * 0x2545f4914f6cdd1d
+}
+
+func (r *rng) float() float64 { return float64(r.next()>>11) / float64(1<<53) }
+
+func (r *rng) intn(n int) int { return int(r.next() % uint64(n)) }
+
+// Generate builds the synthetic benchmark program for the parameters.
+// The result uses virtual registers and is ready for profiling and
+// register allocation.
+func Generate(p BenchParams) *ir.Program {
+	g := &generator{p: p, rng: newRng(p.Seed), prog: ir.NewProgram()}
+	for i := 0; i < p.Procs; i++ {
+		g.genProc(i)
+	}
+	g.genMain()
+	g.prog.Main = "main"
+	return g.prog
+}
+
+type generator struct {
+	p    BenchParams
+	rng  *rng
+	prog *ir.Program
+
+	bu    *ir.Builder
+	acc   ir.Reg // running value threaded through the procedure
+	index int    // index of the procedure being generated
+	next  int    // fresh block name counter
+}
+
+func (g *generator) block(prefix string) *ir.Block {
+	g.next++
+	return g.bu.F.NewBlock(prefix + itoa(g.next))
+}
+
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	var buf [8]byte
+	i := len(buf)
+	for n > 0 {
+		i--
+		buf[i] = byte('0' + n%10)
+		n /= 10
+	}
+	return string(buf[i:])
+}
+
+// libProcs is the number of low-index "library" procedures. They are
+// kept structurally light (shallow loops, few calls) because every
+// other procedure calls into them, often from inside loops; heavy
+// library routines would compound into exponential dynamic cost.
+const libProcs = 5
+
+// genProc emits procedure i, which may call procedures with smaller
+// indices.
+func (g *generator) genProc(i int) {
+	g.index = i
+	g.bu = ir.NewBuilder("p"+itoa(i), 1)
+	g.bu.Block("entry")
+	g.acc = g.bu.F.NewVirt()
+	g.bu.Mov(g.acc, g.bu.F.Params[0])
+
+	segments := g.p.Segments
+	if i < libProcs && segments > 2 {
+		segments = 2
+	}
+
+	bu := g.bu
+	outer := !g.isLib() && g.rng.float() < g.p.OuterLoopProb
+	var header, exitB *ir.Block
+	var iv ir.Reg
+	if outer {
+		iv = bu.F.NewVirt()
+		bu.ConstInto(iv, 0)
+		header = g.block("outer")
+		exitB = g.block("oexit")
+		bu.Jmp(header, 0)
+		bu.SetCurrent(header)
+	}
+
+	for s := 0; s < segments; s++ {
+		g.genSegment(0)
+	}
+
+	if outer {
+		one := bu.Const(1)
+		bu.BinInto(ir.OpAdd, iv, iv, one)
+		trip := bu.Const(int64(3 + g.rng.intn(2)))
+		c := bu.Bin(ir.OpCmpLT, iv, trip)
+		bu.Br(c, header, exitB, 0, 0)
+		bu.SetCurrent(exitB)
+	}
+	g.bu.Ret(g.acc)
+	g.prog.Add(g.bu.Finish())
+}
+
+// isLib reports whether the procedure being generated is a library
+// procedure, which gets lighter control flow.
+func (g *generator) isLib() bool { return g.index < libProcs }
+
+// genSegment emits one top-level segment into the current block chain.
+func (g *generator) genSegment(depth int) {
+	loopProb, callProb := g.p.LoopProb, g.p.CallProb
+	if g.isLib() {
+		// Library procedures are leaf utilities: no calls (their entry
+		// counts are orders of magnitude above other procedures, so a
+		// callee-saved web here would dominate the whole benchmark's
+		// overhead), and shallower loops.
+		loopProb *= 0.5
+		callProb = 0
+	}
+	switch {
+	case depth < 2 && g.rng.float() < loopProb:
+		if !g.isLib() && g.rng.float() < g.p.LoopGuardProb {
+			g.genGuarded(func() { g.genLoop(depth) })
+		} else {
+			g.genLoop(depth)
+		}
+	case g.index > 0 && g.rng.float() < callProb:
+		g.genCall()
+	default:
+		g.genStraight()
+	}
+}
+
+// genGuarded wraps a segment in a warm conditional so the guarded code
+// runs on only part of the procedure's invocations.
+func (g *generator) genGuarded(body func()) {
+	bu := g.bu
+	c := g.condition(g.p.WarmThresh)
+	thenB := g.block("grd")
+	joinB := g.block("gjn")
+	bu.Br(c, thenB, joinB, 0, 0)
+	bu.SetCurrent(thenB)
+	body()
+	bu.Jmp(joinB, 0)
+	bu.SetCurrent(joinB)
+}
+
+// genStraight emits an arithmetic chain mutating acc.
+func (g *generator) genStraight() {
+	bu := g.bu
+	for k := 0; k < g.p.StraightLen; k++ {
+		c := bu.Const(int64(g.rng.intn(97) + 1))
+		switch g.rng.intn(4) {
+		case 0:
+			bu.BinInto(ir.OpAdd, g.acc, g.acc, c)
+		case 1:
+			bu.BinInto(ir.OpXor, g.acc, g.acc, c)
+		case 2:
+			bu.BinInto(ir.OpSub, g.acc, g.acc, c)
+		default:
+			mask := bu.Const(1023)
+			t := bu.Bin(ir.OpAnd, g.acc, mask)
+			bu.BinInto(ir.OpAdd, g.acc, t, c)
+		}
+	}
+}
+
+// condition emits a branch condition that is true with probability
+// roughly thresh/256, decorrelated by a salt.
+func (g *generator) condition(thresh int64) ir.Reg {
+	bu := g.bu
+	salt := bu.Const(int64(g.rng.intn(251)))
+	x := bu.Bin(ir.OpAdd, g.acc, salt)
+	mask := bu.Const(255)
+	m := bu.Bin(ir.OpAnd, x, mask)
+	th := bu.Const(thresh)
+	return bu.Bin(ir.OpCmpLT, m, th)
+}
+
+// genCall emits a call segment: possibly cold-guarded, possibly with a
+// value live across the call. Callees are drawn from the first few
+// procedures — a small "library" of cheap leaf-ish routines — which
+// keeps dynamic call fanout linear in program size (otherwise calls
+// inside nested loops of procedures that themselves call would grow
+// the instruction count exponentially).
+func (g *generator) genCall() {
+	bu := g.bu
+	libSize := g.index
+	if libSize > 5 {
+		libSize = 5
+	}
+	callee := "p" + itoa(g.rng.intn(libSize))
+
+	cold := g.rng.float() < g.p.ColdCallProb
+	var thenB, joinB *ir.Block
+	if cold {
+		c := g.condition(g.p.ColdCallThresh)
+		thenB = g.block("call")
+		joinB = g.block("join")
+		// Weights are placeholders; profiling overwrites them.
+		bu.Br(c, thenB, joinB, 0, 0)
+		bu.SetCurrent(thenB)
+	}
+
+	// The accumulator is passed as the argument and redefined from the
+	// result, so it is NOT live across the call; only when the
+	// live-across trait fires does a value span the call (forcing the
+	// allocator toward a callee-saved register for it).
+	var live, live2 ir.Reg = ir.NoReg, ir.NoReg
+	if g.rng.float() < g.p.LiveAcrossProb {
+		three := bu.Const(3)
+		live = bu.Bin(ir.OpMul, g.acc, three)
+		if g.p.ExtraLiveProb > 0 && g.rng.float() < g.p.ExtraLiveProb {
+			five := bu.Const(5)
+			live2 = bu.Bin(ir.OpMul, g.acc, five)
+		}
+	}
+	r := bu.F.NewVirt()
+	bu.Call(r, callee, g.acc)
+	salt := bu.Const(int64(g.rng.intn(89) + 1))
+	bu.BinInto(ir.OpAdd, g.acc, r, salt)
+	if live2 != ir.NoReg {
+		bu.BinInto(ir.OpAdd, g.acc, g.acc, live2)
+	}
+	if live != ir.NoReg {
+		if g.rng.float() < g.p.WebBranchProb {
+			// Conditional last use: the web spans the branch, so one
+			// restore must sit on the jump edge bypassing the use.
+			c := g.condition(g.p.WarmThresh)
+			useB := g.block("use")
+			joinB2 := g.block("ujn")
+			bu.Br(c, useB, joinB2, 0, 0)
+			bu.SetCurrent(useB)
+			bu.BinInto(ir.OpXor, g.acc, g.acc, live)
+			bu.Jmp(joinB2, 0)
+			bu.SetCurrent(joinB2)
+		} else {
+			bu.BinInto(ir.OpXor, g.acc, g.acc, live)
+		}
+	}
+
+	if cold {
+		bu.Jmp(joinB, 0)
+		bu.SetCurrent(joinB)
+	}
+}
+
+// genLoop emits a bottom-tested counted loop whose body holds nested
+// segments.
+func (g *generator) genLoop(depth int) {
+	bu := g.bu
+	trip := g.p.LoopTrip + int64(g.rng.intn(3))
+
+	i := bu.F.NewVirt()
+	bu.ConstInto(i, 0)
+	header := g.block("loop")
+	exit := g.block("done")
+	bu.Jmp(header, 0)
+	bu.SetCurrent(header)
+
+	// Body: one or two nested segments. Calls are rarer inside loops:
+	// a "cold" block inside a nested loop still executes more often
+	// than procedure entry, so in-loop webs cannot be placed better
+	// than entry/exit anyway; the interesting cold webs live at
+	// shallow depth, as in real code's error paths.
+	nestedProb, callProb := g.p.NestedLoopProb, g.p.CallProb*g.p.InLoopCallFactor
+	if g.isLib() {
+		nestedProb = 0
+		callProb = 0
+	}
+	n := 1 + g.rng.intn(2)
+	for k := 0; k < n; k++ {
+		if depth < 1 && g.rng.float() < nestedProb {
+			g.genLoop(depth + 1)
+		} else if g.index > 0 && g.rng.float() < callProb {
+			g.genCall()
+		} else {
+			g.genStraight()
+		}
+	}
+
+	one := bu.Const(1)
+	bu.BinInto(ir.OpAdd, i, i, one)
+	tr := bu.Const(trip)
+	c := bu.Bin(ir.OpCmpLT, i, tr)
+	// Back edge to header; loop exits to the new current block.
+	bu.Br(c, header, exit, 0, 0)
+	bu.SetCurrent(exit)
+}
+
+// genMain emits the profiling driver: it invokes every procedure
+// DriverIters times with varying arguments.
+func (g *generator) genMain() {
+	bu := ir.NewBuilder("main", 1)
+	bu.Block("entry")
+	total := bu.F.NewVirt()
+	i := bu.F.NewVirt()
+	bu.ConstInto(total, 0)
+	bu.ConstInto(i, 0)
+	loop := bu.F.NewBlock("loop")
+	exit := bu.F.NewBlock("exit")
+	bu.Jmp(loop, 0)
+	bu.SetCurrent(loop)
+	for pi := 0; pi < g.p.Procs; pi++ {
+		step := bu.Const(int64(pi)*37 + 11)
+		arg := bu.Bin(ir.OpMul, i, step)
+		r := bu.F.NewVirt()
+		bu.Call(r, "p"+itoa(pi), arg)
+		bu.BinInto(ir.OpAdd, total, total, r)
+	}
+	one := bu.Const(1)
+	bu.BinInto(ir.OpAdd, i, i, one)
+	n := bu.Const(g.p.DriverIters)
+	c := bu.Bin(ir.OpCmpLT, i, n)
+	bu.Br(c, loop, exit, 0, 0)
+	bu.SetCurrent(exit)
+	bu.Ret(total)
+	g.prog.Add(bu.Finish())
+}

@@ -1,0 +1,182 @@
+package workload
+
+import (
+	"testing"
+
+	"repro/internal/ir"
+	"repro/internal/vm"
+)
+
+func TestGenerateDeterministic(t *testing.T) {
+	p := SPECInt2000()[0]
+	a, b := Generate(p), Generate(p)
+	if a.String() != b.String() {
+		t.Error("generator is not deterministic")
+	}
+}
+
+func TestGenerateAllVerify(t *testing.T) {
+	for _, p := range SPECInt2000() {
+		prog := Generate(p)
+		if err := ir.VerifyProgram(prog); err != nil {
+			t.Errorf("%s: %v", p.Name, err)
+		}
+		if prog.Main != "main" {
+			t.Errorf("%s: main = %q", p.Name, prog.Main)
+		}
+		if len(prog.Funcs) != p.Procs+1 {
+			t.Errorf("%s: %d funcs, want %d", p.Name, len(prog.Funcs), p.Procs+1)
+		}
+	}
+}
+
+func TestGenerateExecutes(t *testing.T) {
+	for _, p := range SPECInt2000() {
+		prog := Generate(p)
+		m := vm.New(prog, vm.Config{})
+		if _, err := m.Run(0); err != nil {
+			t.Errorf("%s: %v", p.Name, err)
+			continue
+		}
+		// Every procedure is invoked DriverIters times by the driver.
+		for i := 0; i < p.Procs; i++ {
+			name := "p" + itoa(i)
+			if got := m.Stats.Calls[name]; got < p.DriverIters {
+				t.Errorf("%s: %s called %d times, want >= %d", p.Name, name, got, p.DriverIters)
+			}
+		}
+	}
+}
+
+func TestSuiteHasElevenBenchmarks(t *testing.T) {
+	suite := SPECInt2000()
+	if len(suite) != 11 {
+		t.Fatalf("suite = %d benchmarks, want 11 (eon excluded, as in the paper)", len(suite))
+	}
+	want := []string{"gzip", "vpr", "gcc", "mcf", "crafty", "parser",
+		"perlbmk", "gap", "vortex", "bzip2", "twolf"}
+	for i, p := range suite {
+		if p.Name != want[i] {
+			t.Errorf("suite[%d] = %s, want %s (paper order)", i, p.Name, want[i])
+		}
+	}
+	// gcc is the largest program, as in the paper.
+	var maxProcs int
+	maxName := ""
+	for _, p := range suite {
+		if p.Procs > maxProcs {
+			maxProcs, maxName = p.Procs, p.Name
+		}
+	}
+	if maxName != "gcc" {
+		t.Errorf("largest benchmark = %s, want gcc", maxName)
+	}
+}
+
+func TestFigure2Structure(t *testing.T) {
+	fig := NewFigure2()
+	f := fig.Func
+	if err := ir.Verify(f); err != nil {
+		t.Fatal(err)
+	}
+	if len(f.Blocks) != 16 {
+		t.Errorf("blocks = %d, want 16 (A..P)", len(f.Blocks))
+	}
+	if f.EntryCount != 100 {
+		t.Errorf("entry count = %d, want 100", f.EntryCount)
+	}
+	// Flow conservation at every interior block.
+	for _, b := range f.Blocks {
+		if b == f.Entry || b.IsExit() {
+			continue
+		}
+		var in, out int64
+		for _, e := range b.Preds {
+			in += e.Weight
+		}
+		for _, e := range b.Succs {
+			out += e.Weight
+		}
+		if in != out {
+			t.Errorf("block %s: in %d != out %d", b.Name, in, out)
+		}
+	}
+	// The shaded blocks really clobber the register.
+	for name := range fig.Allocated {
+		found := false
+		for _, in := range f.BlockByName(name).Instrs {
+			if in.Def() == fig.Reg {
+				found = true
+			}
+		}
+		// E uses (not defines) the register: the web spans D-E.
+		if name == "E" {
+			continue
+		}
+		if !found {
+			t.Errorf("allocated block %s does not write %v", name, fig.Reg)
+		}
+	}
+	// D->F must be a jump edge (the paper's jump block case).
+	df := f.BlockByName("D").SuccEdge(f.BlockByName("F"))
+	if df == nil || df.Kind != ir.Jump {
+		t.Error("D->F must exist and be a jump edge")
+	}
+}
+
+func TestFigure1Structure(t *testing.T) {
+	fig := NewFigure1(10, 20)
+	if err := ir.Verify(fig.Func); err != nil {
+		t.Fatal(err)
+	}
+	if len(fig.Func.Blocks) != 7 {
+		t.Errorf("blocks = %d, want 7 (A..G)", len(fig.Func.Blocks))
+	}
+	b := fig.Func.BlockByName("B")
+	if b.ExecCount() != 10 {
+		t.Errorf("B executes %d, want 10", b.ExecCount())
+	}
+	e := fig.Func.BlockByName("E")
+	if e.ExecCount() != 20 {
+		t.Errorf("E executes %d, want 20", e.ExecCount())
+	}
+}
+
+func TestAllocateGroupPanics(t *testing.T) {
+	fig := NewFigure1(10, 20)
+	for _, c := range []func(){
+		func() { AllocateGroup(fig.Func, fig.Reg) },
+		func() { AllocateGroup(fig.Func, fig.Reg, "nosuch") },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			c()
+		}()
+	}
+}
+
+func TestRngDistribution(t *testing.T) {
+	// The xorshift generator's float() must stay in [0,1) and intn in
+	// range; coarse uniformity sanity check.
+	r := newRng(12345)
+	buckets := make([]int, 10)
+	for i := 0; i < 10000; i++ {
+		v := r.float()
+		if v < 0 || v >= 1 {
+			t.Fatalf("float out of range: %v", v)
+		}
+		buckets[int(v*10)]++
+	}
+	for i, c := range buckets {
+		if c < 700 || c > 1300 {
+			t.Errorf("bucket %d has %d/10000 samples; distribution badly skewed", i, c)
+		}
+	}
+	if newRng(0) == nil {
+		t.Error("zero seed must be remapped")
+	}
+}

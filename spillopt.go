@@ -1,0 +1,288 @@
+// Package spillopt is the public face of a reproduction of "Post
+// Register Allocation Spill Code Optimization" (Lupo & Wilken, CGO
+// 2006): profile-guided hierarchical placement of callee-saved
+// save/restore code over the program structure tree.
+//
+// The package wraps the full pipeline the paper evaluates:
+//
+//	prog, _ := spillopt.ParseProgram(src)   // textual IR in
+//	prog.Profile()                          // run once, collect edge counts
+//	prog.Allocate()                         // Chaitin/Briggs coloring
+//	prog.Place(spillopt.HierarchicalJump)   // the paper's algorithm
+//	res, _ := prog.Run()                    // measure dynamic overhead
+//
+// Lower-level building blocks (the IR, PST construction, the cost
+// models, Chow's shrink-wrapping) live in internal packages; this
+// facade covers the supported use cases: compiling a procedure,
+// choosing a placement strategy, inspecting the placement, and
+// reproducing the paper's evaluation.
+package spillopt
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/dot"
+	"repro/internal/ir"
+	"repro/internal/irtext"
+	"repro/internal/machine"
+	"repro/internal/profile"
+	"repro/internal/pst"
+	"repro/internal/regalloc"
+	"repro/internal/shrinkwrap"
+	"repro/internal/vm"
+)
+
+// Strategy selects a callee-saved spill code placement technique.
+type Strategy int
+
+const (
+	// EntryExit saves at procedure entry and restores at every exit
+	// (the paper's baseline).
+	EntryExit Strategy = iota
+	// Shrinkwrap is Chow's original technique: artificial data flow
+	// keeps spill code out of loops and off jump edges.
+	Shrinkwrap
+	// ShrinkwrapSeed is the paper's modified shrink-wrapping (no
+	// artificial data flow; spill code may sit on jump edges). It is
+	// the seed of the hierarchical algorithm, exposed for study.
+	ShrinkwrapSeed
+	// HierarchicalExec is the paper's algorithm under the execution
+	// count cost model (provably optimal, but ignores the jump
+	// instructions that jump blocks need).
+	HierarchicalExec
+	// HierarchicalJump is the paper's algorithm under the jump edge
+	// cost model — the configuration evaluated in the paper.
+	HierarchicalJump
+)
+
+// String names the strategy.
+func (s Strategy) String() string {
+	switch s {
+	case EntryExit:
+		return "entry-exit"
+	case Shrinkwrap:
+		return "shrinkwrap"
+	case ShrinkwrapSeed:
+		return "shrinkwrap-seed"
+	case HierarchicalExec:
+		return "hierarchical-exec"
+	case HierarchicalJump:
+		return "hierarchical-jump"
+	}
+	return "?"
+}
+
+// Result reports a measured execution.
+type Result struct {
+	// Value is the program's return value.
+	Value int64
+	// Instrs is the total dynamic instruction count.
+	Instrs int64
+	// Overhead is the dynamic spill code overhead: executed spill
+	// loads/stores, callee-saved saves/restores, and jump-block jumps.
+	Overhead int64
+	// Breakdown of the overhead.
+	SpillLoads, SpillStores int64
+	Saves, Restores         int64
+	JumpBlockJumps          int64
+}
+
+// Program is a compiled program moving through the pipeline.
+type Program struct {
+	prog *ir.Program
+	mach *machine.Desc
+
+	profiled  bool
+	allocated bool
+	placed    bool
+}
+
+// ParseProgram reads a program in the textual IR format (see the
+// repository README for the syntax).
+func ParseProgram(src string) (*Program, error) {
+	p, err := irtext.Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	return &Program{prog: p, mach: machine.PARISC()}, nil
+}
+
+// Machine returns the target description (PA-RISC-like: 24 allocatable
+// registers, 13 callee-saved).
+func (p *Program) Machine() MachineInfo {
+	return MachineInfo{
+		Registers:   p.mach.NumRegs,
+		CalleeSaved: p.mach.NumCalleeSaved(),
+	}
+}
+
+// MachineInfo describes the modeled target.
+type MachineInfo struct {
+	Registers   int
+	CalleeSaved int
+}
+
+// Profile executes the program once with the given arguments and
+// records edge execution counts on the CFG, which the allocator's
+// spill heuristic and the placement cost models consume.
+func (p *Program) Profile(args ...int64) error {
+	if p.allocated {
+		return fmt.Errorf("spillopt: Profile must run before Allocate")
+	}
+	if _, err := profile.Collect(p.prog, args...); err != nil {
+		return err
+	}
+	if err := profile.Consistent(p.prog); err != nil {
+		return err
+	}
+	p.profiled = true
+	return nil
+}
+
+// Allocate runs the Chaitin/Briggs graph-coloring register allocator
+// on every procedure. Callee-saved save/restore code is NOT inserted;
+// call Place to choose a placement strategy.
+func (p *Program) Allocate() error {
+	if p.allocated {
+		return fmt.Errorf("spillopt: already allocated")
+	}
+	if _, err := regalloc.AllocateProgram(p.prog, p.mach); err != nil {
+		return err
+	}
+	p.allocated = true
+	return nil
+}
+
+// Place computes and applies the strategy's callee-saved save/restore
+// placement to every procedure that needs one. The placement is
+// validated structurally before it is applied.
+func (p *Program) Place(s Strategy) error {
+	if !p.allocated {
+		return fmt.Errorf("spillopt: Allocate before Place")
+	}
+	if p.placed {
+		return fmt.Errorf("spillopt: already placed")
+	}
+	for _, f := range p.prog.FuncsInOrder() {
+		if len(f.UsedCalleeSaved) == 0 {
+			continue
+		}
+		sets, err := computeSets(f, s)
+		if err != nil {
+			return err
+		}
+		if err := core.ValidateSets(f, sets); err != nil {
+			return err
+		}
+		if err := core.Apply(f, sets); err != nil {
+			return err
+		}
+	}
+	p.placed = true
+	return nil
+}
+
+func computeSets(f *ir.Func, s Strategy) ([]*core.Set, error) {
+	switch s {
+	case EntryExit:
+		return core.EntryExit(f), nil
+	case Shrinkwrap:
+		return shrinkwrap.Compute(f, shrinkwrap.Original), nil
+	case ShrinkwrapSeed:
+		return shrinkwrap.Compute(f, shrinkwrap.Seed), nil
+	case HierarchicalExec, HierarchicalJump:
+		t, err := pst.Build(f)
+		if err != nil {
+			return nil, err
+		}
+		seed := shrinkwrap.Compute(f, shrinkwrap.Seed)
+		var m core.CostModel = core.JumpEdgeModel{}
+		if s == HierarchicalExec {
+			m = core.ExecCountModel{}
+		}
+		sets, _ := core.Hierarchical(f, t, seed, m)
+		return sets, nil
+	}
+	return nil, fmt.Errorf("spillopt: unknown strategy %v", s)
+}
+
+// PlacementCost returns, without mutating the program, the modeled
+// dynamic overhead of a strategy's placement for one function under
+// the jump edge cost model. Useful for comparing strategies cheaply.
+func (p *Program) PlacementCost(funcName string, s Strategy) (int64, error) {
+	f := p.prog.Func(funcName)
+	if f == nil {
+		return 0, fmt.Errorf("spillopt: no function %q", funcName)
+	}
+	if !p.allocated && len(f.UsedCalleeSaved) == 0 {
+		return 0, fmt.Errorf("spillopt: %s not allocated", funcName)
+	}
+	sets, err := computeSets(f, s)
+	if err != nil {
+		return 0, err
+	}
+	return core.TotalCost(core.JumpEdgeModel{}, sets), nil
+}
+
+// Run executes the program under callee-saved convention enforcement
+// and returns the measured result. It requires placement to have run
+// (or no procedure to use callee-saved registers).
+func (p *Program) Run(args ...int64) (*Result, error) {
+	m := vm.New(p.prog, vm.Config{Machine: p.mach})
+	v, err := m.Run(args...)
+	if err != nil {
+		return nil, err
+	}
+	st := m.Stats
+	return &Result{
+		Value:          v,
+		Instrs:         st.Instrs,
+		Overhead:       st.Overhead(),
+		SpillLoads:     st.SpillLoads,
+		SpillStores:    st.SpillStores,
+		Saves:          st.Saves,
+		Restores:       st.Restores,
+		JumpBlockJumps: st.JumpBlockJmps,
+	}, nil
+}
+
+// Text renders the program in the textual IR format, including any
+// inserted spill code and jump blocks.
+func (p *Program) Text() string { return irtext.Print(p.prog) }
+
+// DotCFG renders one function's control flow graph in Graphviz DOT
+// format, highlighting inserted spill code.
+func (p *Program) DotCFG(funcName string) (string, error) {
+	f := p.prog.Func(funcName)
+	if f == nil {
+		return "", fmt.Errorf("spillopt: no function %q", funcName)
+	}
+	return dot.CFG(f), nil
+}
+
+// DotPST renders one function's program structure tree (maximal SESE
+// regions with boundary costs) in Graphviz DOT format.
+func (p *Program) DotPST(funcName string) (string, error) {
+	f := p.prog.Func(funcName)
+	if f == nil {
+		return "", fmt.Errorf("spillopt: no function %q", funcName)
+	}
+	t, err := pst.Build(f)
+	if err != nil {
+		return "", err
+	}
+	return dot.PST(f, t), nil
+}
+
+// Clone deep-copies the program so several strategies can be compared
+// from the same allocation.
+func (p *Program) Clone() *Program {
+	return &Program{
+		prog:      p.prog.Clone(),
+		mach:      p.mach,
+		profiled:  p.profiled,
+		allocated: p.allocated,
+		placed:    p.placed,
+	}
+}

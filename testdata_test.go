@@ -1,0 +1,120 @@
+package spillopt
+
+// End-to-end tests over the checked-in example programs: every
+// strategy compiles them, the results match the unplaced reference,
+// and the hierarchical placement is never more expensive.
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func loadTestdata(t *testing.T, name string) string {
+	t.Helper()
+	b, err := os.ReadFile(filepath.Join("testdata", name))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(b)
+}
+
+// gcdRef computes the expected result of testdata/gcd.ir.
+func gcdRef(n int64) int64 {
+	gcd := func(a, b int64) int64 {
+		for b != 0 {
+			a, b = b, a%b
+		}
+		return a
+	}
+	heap := int64(0)
+	_ = heap
+	var sum int64
+	for i := int64(1); i <= n; i++ {
+		g := gcd(i, 24)
+		sum += g
+		if g == 12 {
+			sum += sum // report returns the stored running sum
+		}
+	}
+	return sum
+}
+
+func TestGCDProgram(t *testing.T) {
+	src := loadTestdata(t, "gcd.ir")
+	var overheads []int64
+	var ref int64
+	for i, s := range []Strategy{EntryExit, Shrinkwrap, HierarchicalJump} {
+		p, err := ParseProgram(src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := p.Profile(60); err != nil {
+			t.Fatal(err)
+		}
+		if err := p.Allocate(); err != nil {
+			t.Fatal(err)
+		}
+		if err := p.Place(s); err != nil {
+			t.Fatal(err)
+		}
+		res, err := p.Run(60)
+		if err != nil {
+			t.Fatalf("%v: %v", s, err)
+		}
+		if i == 0 {
+			ref = res.Value
+		} else if res.Value != ref {
+			t.Errorf("%v computes %d, want %d", s, res.Value, ref)
+		}
+		overheads = append(overheads, res.Overhead)
+	}
+	if want := gcdRef(60); ref != want {
+		t.Errorf("gcd program computes %d, want %d", ref, want)
+	}
+	if overheads[2] > overheads[0] || overheads[2] > overheads[1] {
+		t.Errorf("hierarchical overhead %v not minimal", overheads)
+	}
+}
+
+func TestCollatzProgram(t *testing.T) {
+	src := loadTestdata(t, "collatz.ir")
+	steps := func(n int64) int64 {
+		var c int64
+		for n > 1 {
+			if n&1 == 1 {
+				n = 3*n + 1
+			} else {
+				n >>= 1
+			}
+			c++
+		}
+		return c
+	}
+	var want int64
+	for i := int64(1); i <= 40; i++ {
+		want += steps(i)
+	}
+	for _, s := range []Strategy{EntryExit, HierarchicalJump, HierarchicalExec} {
+		p, err := ParseProgram(src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := p.Profile(40); err != nil {
+			t.Fatal(err)
+		}
+		if err := p.Allocate(); err != nil {
+			t.Fatal(err)
+		}
+		if err := p.Place(s); err != nil {
+			t.Fatal(err)
+		}
+		res, err := p.Run(40)
+		if err != nil {
+			t.Fatalf("%v: %v", s, err)
+		}
+		if res.Value != want {
+			t.Errorf("%v: collatz computes %d, want %d", s, res.Value, want)
+		}
+	}
+}
