@@ -26,6 +26,7 @@ func main() {
 	table := flag.Int("table", 0, "print only this table (1 or 2)")
 	only := flag.String("bench", "", "run a single benchmark")
 	align := flag.Bool("align", false, "run jump alignment before placement (extension)")
+	jobs := flag.Int("j", 0, "worker pool size for sharded evaluation (0 = GOMAXPROCS, 1 = serial)")
 	flag.Parse()
 
 	suite := workload.SPECInt2000()
@@ -43,14 +44,10 @@ func main() {
 		suite = filtered
 	}
 
-	var results []*bench.Result
-	for _, p := range suite {
-		r, err := bench.RunWithOptions(p, bench.Options{Align: *align})
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "spillbench: %v\n", err)
-			os.Exit(1)
-		}
-		results = append(results, r)
+	results, err := bench.RunAllWithOptions(suite, bench.Options{Align: *align, Parallelism: *jobs})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "spillbench: %v\n", err)
+		os.Exit(1)
 	}
 
 	switch {
@@ -66,6 +63,8 @@ func main() {
 		fmt.Print(bench.Table1(results))
 		fmt.Println()
 		fmt.Print(bench.Table2(results))
+		fmt.Println()
+		fmt.Print(bench.Totals(results))
 		if *only != "" {
 			fmt.Println()
 			for _, r := range results {

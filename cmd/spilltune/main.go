@@ -4,7 +4,7 @@
 // best match the paper's Table 1. It exists so the workload definition
 // in internal/workload can be re-derived rather than hand-tweaked.
 //
-// Usage: spilltune [-trials N] [-bench name]
+// Usage: spilltune [-trials N] [-bench name] [-j N]
 package main
 
 import (
@@ -12,8 +12,10 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+	"os"
 
 	"repro/internal/bench"
+	"repro/internal/par"
 	"repro/internal/workload"
 )
 
@@ -30,18 +32,42 @@ func main() {
 	trials := flag.Int("trials", 60, "perturbations per benchmark")
 	only := flag.String("bench", "", "tune a single benchmark")
 	seed := flag.Int64("seed", 1, "search RNG seed")
+	jobs := flag.Int("j", 0, "benchmarks tuned concurrently (0 = GOMAXPROCS, 1 = serial)")
 	flag.Parse()
 
-	rng := rand.New(rand.NewSource(*seed))
-	for _, base := range workload.SPECInt2000() {
-		if *only != "" && base.Name != *only {
-			continue
+	type job struct {
+		base workload.BenchParams
+		pos  int // position in the full suite, not the filtered list
+	}
+	var jobsList []job
+	for pos, base := range workload.SPECInt2000() {
+		if *only == "" || base.Name == *only {
+			jobsList = append(jobsList, job{base, pos})
 		}
+	}
+	// Each benchmark's hill climb owns a private RNG derived from the
+	// seed and the benchmark's position in the full suite, so tuning
+	// runs are independent, the output is identical for any -j, and a
+	// -bench run reproduces that benchmark's line from a full run.
+	lines := make([]string, len(jobsList))
+	err := par.Do(len(jobsList), *jobs, func(i int) error {
+		base := jobsList[i].base
+		rng := rand.New(rand.NewSource(*seed + int64(jobsList[i].pos)))
 		best, bestScore := tune(base, *trials, rng)
-		opt, sw, _ := measure(best)
-		fmt.Printf("%-8s score=%6.2f  opt=%6.1f%% (want %5.1f)  sw=%6.1f%% (want %5.1f)\n",
-			base.Name, bestScore, opt, target[base.Name][0], sw, target[base.Name][1])
-		fmt.Printf("  %+v\n", best)
+		opt, sw, err := measure(best)
+		if err != nil {
+			return fmt.Errorf("%s: %w", base.Name, err)
+		}
+		lines[i] = fmt.Sprintf("%-8s score=%6.2f  opt=%6.1f%% (want %5.1f)  sw=%6.1f%% (want %5.1f)\n  %+v\n",
+			base.Name, bestScore, opt, target[base.Name][0], sw, target[base.Name][1], best)
+		return nil
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "spilltune:", err)
+		os.Exit(1)
+	}
+	for _, l := range lines {
+		fmt.Print(l)
 	}
 }
 

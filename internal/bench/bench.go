@@ -8,12 +8,14 @@ package bench
 
 import (
 	"fmt"
+	"sync"
 	"time"
 
 	"repro/internal/core"
 	"repro/internal/ir"
 	"repro/internal/layout"
 	"repro/internal/machine"
+	"repro/internal/par"
 	"repro/internal/profile"
 	"repro/internal/pst"
 	"repro/internal/regalloc"
@@ -73,6 +75,9 @@ type Result struct {
 	PlacementTime [numStrategies]time.Duration
 	// ReturnValue is the program result, identical across strategies.
 	ReturnValue int64
+	// Stats holds the full VM execution counters per strategy
+	// (deep-copied, so concurrent runs never share a Calls map).
+	Stats [numStrategies]vm.Stats
 	// Procedures and Instrs describe the allocated program.
 	Procedures int
 	Instrs     int
@@ -95,10 +100,25 @@ type Options struct {
 	// configuration the paper mentions as making the jump edge cost
 	// model more accurate.
 	Align bool
+	// Parallelism bounds the worker pools of the concurrent stages:
+	// benchmark sharding in RunAllWithOptions, the per-strategy VM
+	// measurement fan-out, and per-function allocation and placement.
+	// Only one level fans out at a time (benchmarks when there are
+	// several, strategies/functions otherwise), so pools never
+	// multiply. Zero or negative means GOMAXPROCS; 1 forces the fully
+	// serial path. All measured counts are deterministic and
+	// identical for any value. PlacementTime is wall-clock: placement
+	// of one benchmark never runs concurrently with another strategy's
+	// placement of the same benchmark, but concurrent benchmarks can
+	// still contend — for paper-grade Table 2 timings use 1.
+	Parallelism int
 }
 
-// Run executes the full pipeline for one benchmark description.
-func Run(p workload.BenchParams) (*Result, error) { return RunWithOptions(p, Options{}) }
+// Run executes the full pipeline for one benchmark description,
+// serially (the zero-value Options would mean GOMAXPROCS).
+func Run(p workload.BenchParams) (*Result, error) {
+	return RunWithOptions(p, Options{Parallelism: 1})
+}
 
 // RunWithOptions executes the pipeline with tweaks.
 func RunWithOptions(p workload.BenchParams, opts Options) (*Result, error) {
@@ -113,8 +133,9 @@ func RunWithOptions(p workload.BenchParams, opts Options) (*Result, error) {
 		return nil, fmt.Errorf("bench %s: %w", p.Name, err)
 	}
 
-	// One register allocation shared by all strategies.
-	allocRes, err := regalloc.AllocateProgram(prog, mach)
+	// One register allocation shared by all strategies; functions are
+	// independent, so allocation fans out per function.
+	allocRes, err := regalloc.AllocateProgramParallel(prog, mach, opts.Parallelism)
 	if err != nil {
 		return nil, fmt.Errorf("bench %s: regalloc: %w", p.Name, err)
 	}
@@ -133,27 +154,48 @@ func RunWithOptions(p workload.BenchParams, opts Options) (*Result, error) {
 		res.SpilledVregs += len(ar.Spilled)
 	}
 
-	first := true
+	// Placement is the timed stage (Table 2), so it runs serially
+	// across strategies — two strategies' placements of the same
+	// benchmark never compete for CPUs and pollute each other's
+	// timings. Each strategy's placement may still fan out per
+	// function. Placement is cheap; the VM runs below dominate.
+	clones := make([]*ir.Program, numStrategies)
 	for _, s := range Strategies {
 		clone := prog.Clone()
-		elapsed, err := place(clone, s)
+		elapsed, err := place(clone, s, opts.Parallelism)
 		if err != nil {
 			return nil, fmt.Errorf("bench %s: %s: %w", p.Name, s, err)
 		}
 		res.PlacementTime[s] = elapsed
+		clones[s] = clone
+	}
 
-		v := vm.New(clone, vm.Config{Machine: mach})
+	// Every strategy executes on its own clone in its own VM, so the
+	// four measurement runs fan out across the pool. Each slot is
+	// written by exactly one worker; the cross-strategy return value
+	// check runs after the barrier, in strategy order, so failures are
+	// reported exactly as the serial loop would report them.
+	var vals [numStrategies]int64
+	err = par.Do(len(Strategies), opts.Parallelism, func(i int) error {
+		s := Strategies[i]
+		v := vm.New(clones[s], vm.Config{Machine: mach})
 		val, err := v.Run(0)
 		if err != nil {
-			return nil, fmt.Errorf("bench %s: %s run: %w", p.Name, s, err)
+			return fmt.Errorf("bench %s: %s run: %w", p.Name, s, err)
 		}
-		if first {
-			res.ReturnValue = val
-			first = false
-		} else if val != res.ReturnValue {
-			return nil, fmt.Errorf("bench %s: %s computed %d, want %d", p.Name, s, val, res.ReturnValue)
-		}
+		vals[s] = val
 		res.Overhead[s] = v.Stats.Overhead()
+		res.Stats[s] = v.Stats.Snapshot()
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	res.ReturnValue = vals[Baseline]
+	for _, s := range Strategies {
+		if vals[s] != res.ReturnValue {
+			return nil, fmt.Errorf("bench %s: %s computed %d, want %d", p.Name, s, vals[s], res.ReturnValue)
+		}
 	}
 	return res, nil
 }
@@ -161,12 +203,20 @@ func RunWithOptions(p workload.BenchParams, opts Options) (*Result, error) {
 // place computes and applies one strategy's placement to every
 // procedure that uses callee-saved registers, returning the time spent
 // computing placements (the strategy's incremental compile time).
-func place(prog *ir.Program, s Strategy) (time.Duration, error) {
-	var elapsed time.Duration
+// Procedures are independent, so they fan out across a bounded pool;
+// the returned duration is the sum of per-procedure compute times,
+// matching the serial accounting.
+func place(prog *ir.Program, s Strategy, parallelism int) (time.Duration, error) {
+	var funcs []*ir.Func
 	for _, f := range prog.FuncsInOrder() {
-		if len(f.UsedCalleeSaved) == 0 {
-			continue
+		if len(f.UsedCalleeSaved) != 0 {
+			funcs = append(funcs, f)
 		}
+	}
+	var mu sync.Mutex
+	var elapsed time.Duration
+	err := par.Do(len(funcs), parallelism, func(i int) error {
+		f := funcs[i]
 		var sets []*core.Set
 		start := time.Now()
 		switch s {
@@ -177,7 +227,7 @@ func place(prog *ir.Program, s Strategy) (time.Duration, error) {
 		case Optimized, OptimizedExec:
 			t, err := pst.Build(f)
 			if err != nil {
-				return 0, err
+				return err
 			}
 			seed := shrinkwrap.Compute(f, shrinkwrap.Seed)
 			var m core.CostModel = core.JumpEdgeModel{}
@@ -186,26 +236,57 @@ func place(prog *ir.Program, s Strategy) (time.Duration, error) {
 			}
 			sets, _ = core.Hierarchical(f, t, seed, m)
 		}
-		elapsed += time.Since(start)
+		d := time.Since(start)
+		mu.Lock()
+		elapsed += d
+		mu.Unlock()
 		if err := core.ValidateSets(f, sets); err != nil {
-			return 0, fmt.Errorf("%s: %w", f.Name, err)
+			return fmt.Errorf("%s: %w", f.Name, err)
 		}
 		if err := core.Apply(f, sets); err != nil {
-			return 0, fmt.Errorf("%s: %w", f.Name, err)
+			return fmt.Errorf("%s: %w", f.Name, err)
 		}
+		return nil
+	})
+	if err != nil {
+		return 0, err
 	}
 	return elapsed, nil
 }
 
-// RunAll runs every benchmark in the suite.
+// RunAll runs every benchmark in the suite serially. RunAllWithOptions
+// is the sharded version; both produce identical results.
 func RunAll(suite []workload.BenchParams) ([]*Result, error) {
-	var out []*Result
-	for _, p := range suite {
-		r, err := Run(p)
+	return RunAllWithOptions(suite, Options{Parallelism: 1})
+}
+
+// RunAllWithOptions shards the suite across a bounded pool of workers
+// (Options.Parallelism; <= 0 means GOMAXPROCS). Workers pull
+// benchmarks from a shared queue — so one heavyweight benchmark (gcc)
+// does not serialize a whole static shard behind it — and write
+// results back by suite position, so the result order and every
+// measured count in it are byte-for-byte identical to the serial
+// path; only wall-clock time changes. On error the lowest-positioned
+// failure is returned, as in the serial loop. When several benchmarks
+// run concurrently, each runs its inner stages serially; with a
+// single benchmark (or parallelism 1) the inner stages get the pool
+// instead.
+func RunAllWithOptions(suite []workload.BenchParams, opts Options) ([]*Result, error) {
+	inner := opts
+	if par.Limit(opts.Parallelism, len(suite)) > 1 {
+		inner.Parallelism = 1
+	}
+	out := make([]*Result, len(suite))
+	err := par.Do(len(suite), opts.Parallelism, func(i int) error {
+		r, err := RunWithOptions(suite[i], inner)
 		if err != nil {
-			return nil, err
+			return err
 		}
-		out = append(out, r)
+		out[i] = r
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return out, nil
 }

@@ -33,7 +33,7 @@ func TestMeasuredEqualsModeled(t *testing.T) {
 		}
 		for _, s := range Strategies {
 			clone := prog.Clone()
-			if _, err := place(clone, s); err != nil {
+			if _, err := place(clone, s, 1); err != nil {
 				t.Fatalf("%s/%s: %v", name, s, err)
 			}
 			var modeled int64
@@ -71,7 +71,7 @@ func TestNonOverheadInstrsIdentical(t *testing.T) {
 	base := int64(-1)
 	for _, s := range Strategies {
 		clone := prog.Clone()
-		if _, err := place(clone, s); err != nil {
+		if _, err := place(clone, s, 1); err != nil {
 			t.Fatal(err)
 		}
 		v := vm.New(clone, vm.Config{Machine: mach})

@@ -82,7 +82,7 @@ func TestEstimatedProfileExperiment(t *testing.T) {
 
 		baseline := func() int64 {
 			clone := prog.Clone()
-			if _, err := place(clone, Baseline); err != nil {
+			if _, err := place(clone, Baseline, 1); err != nil {
 				t.Fatal(err)
 			}
 			v := vm.New(clone, vm.Config{Machine: mach})

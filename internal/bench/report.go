@@ -3,6 +3,8 @@ package bench
 import (
 	"fmt"
 	"strings"
+
+	"repro/internal/vm"
 )
 
 // Figure5 formats the total dynamic spill overhead chart data: one row
@@ -69,5 +71,39 @@ func Table2(results []*Result) string {
 	}
 	fmt.Fprintf(&b, "%-10s %15.3fms %15.3fms %8.2f\n", "Average",
 		sumSw/float64(len(results)), sumOpt/float64(len(results)), avgRatio)
+	return b.String()
+}
+
+// SuiteStats merges every benchmark's VM execution counters into one
+// suite-wide total per strategy. Merging is order-independent, so the
+// totals are identical whether the results came from the serial loop
+// or from concurrent shards.
+func SuiteStats(results []*Result) [numStrategies]vm.Stats {
+	var out [numStrategies]vm.Stats
+	for s := range out {
+		out[s].Calls = make(map[string]int64)
+	}
+	for _, r := range results {
+		for _, s := range Strategies {
+			out[s].Merge(&r.Stats[s])
+		}
+	}
+	return out
+}
+
+// Totals formats the merged suite-wide execution counters: dynamic
+// instructions, total spill overhead, and its breakdown per strategy.
+func Totals(results []*Result) string {
+	stats := SuiteStats(results)
+	var b strings.Builder
+	b.WriteString("Suite totals: merged dynamic counts across all benchmarks\n\n")
+	fmt.Fprintf(&b, "%-14s %16s %14s %10s %10s %10s %10s %8s\n",
+		"strategy", "instrs", "overhead", "saves", "restores", "spill.ld", "spill.st", "jumps")
+	for _, s := range Strategies {
+		st := &stats[s]
+		fmt.Fprintf(&b, "%-14s %16d %14d %10d %10d %10d %10d %8d\n",
+			s.String(), st.Instrs, st.Overhead(), st.Saves, st.Restores,
+			st.SpillLoads, st.SpillStores, st.JumpBlockJmps)
+	}
 	return b.String()
 }

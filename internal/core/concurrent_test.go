@@ -1,0 +1,75 @@
+package core_test
+
+// Concurrency contract: Hierarchical and ValidateSets keep all working
+// state local, so distinct functions can be processed in parallel.
+// This test hammers that contract — run with -race, it is the proof
+// the parallel pipeline stands on. It also checks determinism: the
+// concurrent placements match a serial reference exactly.
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/ir"
+	"repro/internal/pst"
+	"repro/internal/shrinkwrap"
+)
+
+// placeOne runs the full per-function placement pipeline and returns
+// the chosen sets rendered to a comparable form. It must stay safe to
+// call from any goroutine (t.Errorf is; t.Fatalf is not).
+func placeOne(t *testing.T, f *ir.Func) []string {
+	tree, err := pst.Build(f)
+	if err != nil {
+		t.Errorf("%s: pst: %v", f.Name, err)
+		return nil
+	}
+	seed := shrinkwrap.Compute(f, shrinkwrap.Seed)
+	sets, _ := core.Hierarchical(f, tree, seed, core.JumpEdgeModel{})
+	if err := core.ValidateSets(f, sets); err != nil {
+		t.Errorf("%s: %v", f.Name, err)
+	}
+	var out []string
+	for _, s := range sets {
+		out = append(out, s.String())
+	}
+	return out
+}
+
+func TestHierarchicalConcurrentOverDistinctFuncs(t *testing.T) {
+	funcs := randomFuncs(t, 12)
+	serial := make([][]string, len(funcs))
+	for i, f := range funcs {
+		serial[i] = placeOne(t, f)
+	}
+
+	const rounds = 8
+	var wg sync.WaitGroup
+	got := make([][][]string, rounds)
+	for r := 0; r < rounds; r++ {
+		got[r] = make([][]string, len(funcs))
+		for i, f := range funcs {
+			wg.Add(1)
+			go func(r, i int, f *ir.Func) {
+				defer wg.Done()
+				got[r][i] = placeOne(t, f)
+			}(r, i, f)
+		}
+	}
+	wg.Wait()
+
+	for r := 0; r < rounds; r++ {
+		for i := range funcs {
+			if len(got[r][i]) != len(serial[i]) {
+				t.Fatalf("round %d func %s: %d sets, want %d", r, funcs[i].Name, len(got[r][i]), len(serial[i]))
+			}
+			for j := range serial[i] {
+				if got[r][i][j] != serial[i][j] {
+					t.Errorf("round %d func %s set %d: %q != serial %q",
+						r, funcs[i].Name, j, got[r][i][j], serial[i][j])
+				}
+			}
+		}
+	}
+}

@@ -91,6 +91,10 @@ type RegionDecision struct {
 //
 // It returns the final save/restore sets and the per-region decisions
 // in traversal order. The input seed sets are not modified.
+//
+// Hierarchical keeps all working state local and only reads f, t, and
+// seed, so concurrent calls over distinct functions (each with its own
+// PST and seed) are safe — the parallel pipeline relies on this.
 func Hierarchical(f *ir.Func, t *pst.PST, seed []*Set, m CostModel) ([]*Set, []RegionDecision) {
 	live := make([]*Set, len(seed))
 	copy(live, seed)

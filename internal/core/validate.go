@@ -21,7 +21,8 @@ import (
 //     the variable), checked against real liveness of the register.
 //
 // It works on the placement description, before Apply mutates the
-// function.
+// function. All simulation state is local to the call, so concurrent
+// validation of distinct functions is safe.
 func ValidateSets(f *ir.Func, sets []*Set) error {
 	var errs []error
 	lv := dataflow.ComputeLiveness(f)

@@ -1,0 +1,68 @@
+// Package par provides the bounded worker pool behind every
+// concurrent stage of the pipeline: per-function register allocation
+// and placement, and per-benchmark sharding in the measurement
+// harness. Work items are independent, so the pool only has to bound
+// concurrency and keep error reporting deterministic.
+package par
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Limit resolves a parallelism request against an item count: n <= 0
+// means GOMAXPROCS, and the result is clamped to [1, items] (with a
+// floor of 1 even for zero items).
+func Limit(n, items int) int {
+	if n <= 0 {
+		n = runtime.GOMAXPROCS(0)
+	}
+	if n > items {
+		n = items
+	}
+	if n < 1 {
+		n = 1
+	}
+	return n
+}
+
+// Do runs fn(0), ..., fn(n-1) across at most parallelism workers and
+// waits for all of them. Workers pull indices from a shared counter,
+// so long items do not serialize behind short ones. The returned
+// error is the one from the lowest failed index — the same error the
+// serial loop would hit first — regardless of scheduling order.
+func Do(n, parallelism int, fn func(i int) error) error {
+	workers := Limit(parallelism, n)
+	if workers == 1 {
+		for i := 0; i < n; i++ {
+			if err := fn(i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	errs := make([]error, n)
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				errs[i] = fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}

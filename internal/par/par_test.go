@@ -1,0 +1,62 @@
+package par
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"sync/atomic"
+	"testing"
+)
+
+func TestLimit(t *testing.T) {
+	if got := Limit(0, 100); got != runtime.GOMAXPROCS(0) {
+		t.Errorf("Limit(0, 100) = %d, want GOMAXPROCS %d", got, runtime.GOMAXPROCS(0))
+	}
+	if got := Limit(8, 3); got != 3 {
+		t.Errorf("Limit(8, 3) = %d, want 3", got)
+	}
+	if got := Limit(-1, 0); got != 1 {
+		t.Errorf("Limit(-1, 0) = %d, want 1", got)
+	}
+	if got := Limit(2, 100); got != 2 {
+		t.Errorf("Limit(2, 100) = %d, want 2", got)
+	}
+}
+
+func TestDoRunsEveryIndexOnce(t *testing.T) {
+	for _, workers := range []int{1, 2, 7} {
+		const n = 100
+		var counts [n]atomic.Int64
+		if err := Do(n, workers, func(i int) error {
+			counts[i].Add(1)
+			return nil
+		}); err != nil {
+			t.Fatal(err)
+		}
+		for i := range counts {
+			if c := counts[i].Load(); c != 1 {
+				t.Errorf("workers=%d: index %d ran %d times", workers, i, c)
+			}
+		}
+	}
+}
+
+func TestDoReturnsLowestIndexError(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		err := Do(50, workers, func(i int) error {
+			if i%10 == 3 {
+				return fmt.Errorf("fail at %d", i)
+			}
+			return nil
+		})
+		if err == nil || err.Error() != "fail at 3" {
+			t.Errorf("workers=%d: err = %v, want fail at 3", workers, err)
+		}
+	}
+}
+
+func TestDoZeroItems(t *testing.T) {
+	if err := Do(0, 4, func(int) error { return errors.New("never") }); err != nil {
+		t.Errorf("Do over zero items: %v", err)
+	}
+}

@@ -19,6 +19,7 @@ import (
 	"repro/internal/dataflow"
 	"repro/internal/ir"
 	"repro/internal/machine"
+	"repro/internal/par"
 )
 
 // Result reports what the allocator did to one function.
@@ -36,15 +37,32 @@ type Result struct {
 // reduces live range lengths so this is never reached in practice.
 const maxRounds = 32
 
-// AllocateProgram allocates every function in the program.
+// AllocateProgram allocates every function in the program, serially.
 func AllocateProgram(p *ir.Program, m *machine.Desc) (map[string]*Result, error) {
-	out := make(map[string]*Result, len(p.Funcs))
-	for _, f := range p.FuncsInOrder() {
-		r, err := Allocate(f, m)
+	return AllocateProgramParallel(p, m, 1)
+}
+
+// AllocateProgramParallel allocates every function across a bounded
+// worker pool. Functions are independent — Allocate reads and writes
+// only its own *ir.Func — so the result is identical to the serial
+// path for any parallelism (<= 0 means GOMAXPROCS).
+func AllocateProgramParallel(p *ir.Program, m *machine.Desc, parallelism int) (map[string]*Result, error) {
+	funcs := p.FuncsInOrder()
+	results := make([]*Result, len(funcs))
+	err := par.Do(len(funcs), parallelism, func(i int) error {
+		r, err := Allocate(funcs[i], m)
 		if err != nil {
-			return nil, err
+			return err
 		}
-		out[f.Name] = r
+		results[i] = r
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	out := make(map[string]*Result, len(funcs))
+	for i, f := range funcs {
+		out[f.Name] = results[i]
 	}
 	return out, nil
 }

@@ -1,0 +1,42 @@
+package vm
+
+import "testing"
+
+func TestStatsSnapshotIsolatesCalls(t *testing.T) {
+	s := Stats{Instrs: 10, Saves: 2, Calls: map[string]int64{"f": 3}}
+	snap := s.Snapshot()
+	s.Calls["f"] = 99
+	s.Calls["g"] = 1
+	if snap.Calls["f"] != 3 {
+		t.Errorf("snapshot aliased Calls: f = %d, want 3", snap.Calls["f"])
+	}
+	if _, ok := snap.Calls["g"]; ok {
+		t.Error("snapshot aliased Calls: g leaked in")
+	}
+	if snap.Instrs != 10 || snap.Saves != 2 {
+		t.Errorf("snapshot dropped counters: %+v", snap)
+	}
+}
+
+func TestStatsMerge(t *testing.T) {
+	a := Stats{Instrs: 5, Loads: 1, Stores: 2, SpillLoads: 3, SpillStores: 4,
+		Saves: 5, Restores: 6, JumpBlockJmps: 7, Calls: map[string]int64{"f": 1, "g": 2}}
+	b := Stats{Instrs: 10, Loads: 10, Stores: 10, SpillLoads: 10, SpillStores: 10,
+		Saves: 10, Restores: 10, JumpBlockJmps: 10, Calls: map[string]int64{"g": 3, "h": 4}}
+	a.Merge(&b)
+	if a.Instrs != 15 || a.Loads != 11 || a.Stores != 12 {
+		t.Errorf("merge counters wrong: %+v", a)
+	}
+	if a.Overhead() != (3+10)+(4+10)+(5+10)+(6+10)+(7+10) {
+		t.Errorf("merged overhead = %d", a.Overhead())
+	}
+	if a.Calls["f"] != 1 || a.Calls["g"] != 5 || a.Calls["h"] != 4 {
+		t.Errorf("merged calls wrong: %v", a.Calls)
+	}
+	// Merging into zero-value stats allocates the map.
+	var z Stats
+	z.Merge(&a)
+	if z.Calls["g"] != 5 {
+		t.Errorf("merge into zero value: %v", z.Calls)
+	}
+}

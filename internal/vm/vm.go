@@ -37,6 +37,40 @@ func (s *Stats) Overhead() int64 {
 	return s.SpillLoads + s.SpillStores + s.Saves + s.Restores + s.JumpBlockJmps
 }
 
+// Snapshot deep-copies the stats. A plain struct copy would alias the
+// Calls map between the copy and the still-running VM; Snapshot is the
+// safe way to let counters outlive (or leave) their VM, e.g. when
+// results are collected from concurrent runs.
+func (s *Stats) Snapshot() Stats {
+	out := *s
+	out.Calls = make(map[string]int64, len(s.Calls))
+	for name, n := range s.Calls {
+		out.Calls[name] = n
+	}
+	return out
+}
+
+// Merge adds o's counters into s, summing the per-function call
+// counts. Shard workers run isolated VMs and merge their stats into a
+// suite-wide total afterward; merging in any order yields the same
+// result.
+func (s *Stats) Merge(o *Stats) {
+	s.Instrs += o.Instrs
+	s.Loads += o.Loads
+	s.Stores += o.Stores
+	s.SpillLoads += o.SpillLoads
+	s.SpillStores += o.SpillStores
+	s.Saves += o.Saves
+	s.Restores += o.Restores
+	s.JumpBlockJmps += o.JumpBlockJmps
+	if len(o.Calls) > 0 && s.Calls == nil {
+		s.Calls = make(map[string]int64, len(o.Calls))
+	}
+	for name, n := range o.Calls {
+		s.Calls[name] += n
+	}
+}
+
 // Config controls a VM run.
 type Config struct {
 	// Machine enables callee-saved convention checking when non-nil:

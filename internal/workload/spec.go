@@ -154,7 +154,9 @@ func (r *rng) intn(n int) int { return int(r.next() % uint64(n)) }
 
 // Generate builds the synthetic benchmark program for the parameters.
 // The result uses virtual registers and is ready for profiling and
-// register allocation.
+// register allocation. Generation is deterministic in p.Seed and keeps
+// all state (including the RNG) local to the call, so concurrent
+// Generate calls are safe — the sharded harness relies on this.
 func Generate(p BenchParams) *ir.Program {
 	g := &generator{p: p, rng: newRng(p.Seed), prog: ir.NewProgram()}
 	for i := 0; i < p.Procs; i++ {

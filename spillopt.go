@@ -26,6 +26,7 @@ import (
 	"repro/internal/ir"
 	"repro/internal/irtext"
 	"repro/internal/machine"
+	"repro/internal/par"
 	"repro/internal/profile"
 	"repro/internal/pst"
 	"repro/internal/regalloc"
@@ -93,6 +94,12 @@ type Program struct {
 	prog *ir.Program
 	mach *machine.Desc
 
+	// Parallelism bounds the worker pool used by Allocate and Place
+	// for per-function work (functions are independent after parsing).
+	// Zero or negative means GOMAXPROCS; 1 forces the serial path.
+	// Results are identical for any value.
+	Parallelism int
+
 	profiled  bool
 	allocated bool
 	placed    bool
@@ -147,7 +154,7 @@ func (p *Program) Allocate() error {
 	if p.allocated {
 		return fmt.Errorf("spillopt: already allocated")
 	}
-	if _, err := regalloc.AllocateProgram(p.prog, p.mach); err != nil {
+	if _, err := regalloc.AllocateProgramParallel(p.prog, p.mach, p.Parallelism); err != nil {
 		return err
 	}
 	p.allocated = true
@@ -164,10 +171,17 @@ func (p *Program) Place(s Strategy) error {
 	if p.placed {
 		return fmt.Errorf("spillopt: already placed")
 	}
+	var funcs []*ir.Func
 	for _, f := range p.prog.FuncsInOrder() {
-		if len(f.UsedCalleeSaved) == 0 {
-			continue
+		if len(f.UsedCalleeSaved) != 0 {
+			funcs = append(funcs, f)
 		}
+	}
+	// Each placement reads and mutates only its own function, so the
+	// per-function pipeline (PST build, shrink-wrap seed, hierarchical
+	// traversal, validation, apply) fans out across the pool.
+	err := par.Do(len(funcs), p.Parallelism, func(i int) error {
+		f := funcs[i]
 		sets, err := computeSets(f, s)
 		if err != nil {
 			return err
@@ -175,9 +189,10 @@ func (p *Program) Place(s Strategy) error {
 		if err := core.ValidateSets(f, sets); err != nil {
 			return err
 		}
-		if err := core.Apply(f, sets); err != nil {
-			return err
-		}
+		return core.Apply(f, sets)
+	})
+	if err != nil {
+		return err
 	}
 	p.placed = true
 	return nil
@@ -279,10 +294,11 @@ func (p *Program) DotPST(funcName string) (string, error) {
 // from the same allocation.
 func (p *Program) Clone() *Program {
 	return &Program{
-		prog:      p.prog.Clone(),
-		mach:      p.mach,
-		profiled:  p.profiled,
-		allocated: p.allocated,
-		placed:    p.placed,
+		prog:        p.prog.Clone(),
+		mach:        p.mach,
+		Parallelism: p.Parallelism,
+		profiled:    p.profiled,
+		allocated:   p.allocated,
+		placed:      p.placed,
 	}
 }
