@@ -27,24 +27,32 @@ func main() {
 	only := flag.String("bench", "", "run a single benchmark")
 	align := flag.Bool("align", false, "run jump alignment before placement (extension)")
 	jobs := flag.Int("j", 0, "worker pool size for sharded evaluation (0 = GOMAXPROCS, 1 = serial)")
+	irgenN := flag.Int("irgen", 0, "append this many random irgen scenario families to the suite")
+	irgenSeed := flag.Uint64("irgen-seed", 1, "first seed of the appended irgen families")
 	flag.Parse()
 
-	suite := workload.SPECInt2000()
+	var entries []bench.Entry
+	for _, p := range workload.SPECInt2000() {
+		entries = append(entries, bench.EntryFor(p))
+	}
+	entries = append(entries, bench.GeneratedSuite(*irgenSeed, *irgenN)...)
+	// The filter sees the full suite, so -bench selects generated
+	// entries (e.g. "irgen-3") as readily as SPEC stand-ins.
 	if *only != "" {
-		var filtered []workload.BenchParams
-		for _, p := range suite {
-			if p.Name == *only {
-				filtered = append(filtered, p)
+		var filtered []bench.Entry
+		for _, e := range entries {
+			if e.Name == *only {
+				filtered = append(filtered, e)
 			}
 		}
 		if len(filtered) == 0 {
 			fmt.Fprintf(os.Stderr, "spillbench: unknown benchmark %q\n", *only)
 			os.Exit(1)
 		}
-		suite = filtered
+		entries = filtered
 	}
 
-	results, err := bench.RunAllWithOptions(suite, bench.Options{Align: *align, Parallelism: *jobs})
+	results, err := bench.RunEntries(entries, bench.Options{Align: *align, Parallelism: *jobs})
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "spillbench: %v\n", err)
 		os.Exit(1)

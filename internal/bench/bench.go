@@ -13,13 +13,13 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/ir"
+	"repro/internal/irgen"
 	"repro/internal/layout"
 	"repro/internal/machine"
 	"repro/internal/par"
 	"repro/internal/profile"
-	"repro/internal/pst"
 	"repro/internal/regalloc"
-	"repro/internal/shrinkwrap"
+	"repro/internal/strategy"
 	"repro/internal/vm"
 	"repro/internal/workload"
 )
@@ -61,6 +61,20 @@ func (s Strategy) String() string {
 		return "OptimizedExec"
 	}
 	return "?"
+}
+
+// technique maps the figure-label enum to the shared placement
+// dispatch in internal/strategy.
+func (s Strategy) technique() strategy.Strategy {
+	switch s {
+	case Shrinkwrap:
+		return strategy.Shrinkwrap
+	case Optimized:
+		return strategy.HierarchicalJump
+	case OptimizedExec:
+		return strategy.HierarchicalExec
+	}
+	return strategy.EntryExit
 }
 
 // Result holds one benchmark's measurements.
@@ -114,6 +128,38 @@ type Options struct {
 	Parallelism int
 }
 
+// Entry is one measurable program: a name for the reports and a
+// generator producing a fresh virtual-register program ready for
+// profiling. The synthetic SPEC stand-ins and irgen's random scenario
+// families both enter the harness this way.
+type Entry struct {
+	Name string
+	Gen  func() *ir.Program
+}
+
+// EntryFor wraps a synthetic SPEC benchmark description as an Entry.
+func EntryFor(p workload.BenchParams) Entry {
+	return Entry{Name: p.Name, Gen: func() *ir.Program { return workload.Generate(p) }}
+}
+
+// GeneratedSuite returns n random scenario-family entries from the
+// irgen generator, seeds base..base+n-1, so fuzz-grade program shapes
+// can join the measured suite next to the SPEC stand-ins.
+func GeneratedSuite(base uint64, n int) []Entry {
+	if n < 0 {
+		n = 0
+	}
+	out := make([]Entry, n)
+	for i := range out {
+		seed := base + uint64(i)
+		out[i] = Entry{
+			Name: "irgen-" + fmt.Sprint(seed),
+			Gen:  func() *ir.Program { return irgen.Generate(seed, irgen.Default()) },
+		}
+	}
+	return out
+}
+
 // Run executes the full pipeline for one benchmark description,
 // serially (the zero-value Options would mean GOMAXPROCS).
 func Run(p workload.BenchParams) (*Result, error) {
@@ -122,22 +168,29 @@ func Run(p workload.BenchParams) (*Result, error) {
 
 // RunWithOptions executes the pipeline with tweaks.
 func RunWithOptions(p workload.BenchParams, opts Options) (*Result, error) {
-	prog := workload.Generate(p)
+	return RunEntry(EntryFor(p), opts)
+}
+
+// RunEntry executes the pipeline for one entry: generate, profile,
+// allocate once, place every strategy on identical clones, execute
+// each clone under convention checking.
+func RunEntry(e Entry, opts Options) (*Result, error) {
+	prog := e.Gen()
 	mach := machine.PARISC()
 
 	// Profile by execution, then check flow conservation.
 	if _, err := profile.Collect(prog, 0); err != nil {
-		return nil, fmt.Errorf("bench %s: profile: %w", p.Name, err)
+		return nil, fmt.Errorf("bench %s: profile: %w", e.Name, err)
 	}
 	if err := profile.Consistent(prog); err != nil {
-		return nil, fmt.Errorf("bench %s: %w", p.Name, err)
+		return nil, fmt.Errorf("bench %s: %w", e.Name, err)
 	}
 
 	// One register allocation shared by all strategies; functions are
 	// independent, so allocation fans out per function.
 	allocRes, err := regalloc.AllocateProgramParallel(prog, mach, opts.Parallelism)
 	if err != nil {
-		return nil, fmt.Errorf("bench %s: regalloc: %w", p.Name, err)
+		return nil, fmt.Errorf("bench %s: regalloc: %w", e.Name, err)
 	}
 
 	if opts.Align {
@@ -146,7 +199,7 @@ func RunWithOptions(p workload.BenchParams, opts Options) (*Result, error) {
 		}
 	}
 
-	res := &Result{Name: p.Name, Procedures: len(prog.Funcs)}
+	res := &Result{Name: e.Name, Procedures: len(prog.Funcs)}
 	for _, f := range prog.FuncsInOrder() {
 		res.Instrs += f.Instrs()
 	}
@@ -164,7 +217,7 @@ func RunWithOptions(p workload.BenchParams, opts Options) (*Result, error) {
 		clone := prog.Clone()
 		elapsed, err := place(clone, s, opts.Parallelism)
 		if err != nil {
-			return nil, fmt.Errorf("bench %s: %s: %w", p.Name, s, err)
+			return nil, fmt.Errorf("bench %s: %s: %w", e.Name, s, err)
 		}
 		res.PlacementTime[s] = elapsed
 		clones[s] = clone
@@ -181,7 +234,7 @@ func RunWithOptions(p workload.BenchParams, opts Options) (*Result, error) {
 		v := vm.New(clones[s], vm.Config{Machine: mach})
 		val, err := v.Run(0)
 		if err != nil {
-			return fmt.Errorf("bench %s: %s run: %w", p.Name, s, err)
+			return fmt.Errorf("bench %s: %s run: %w", e.Name, s, err)
 		}
 		vals[s] = val
 		res.Overhead[s] = v.Stats.Overhead()
@@ -194,7 +247,7 @@ func RunWithOptions(p workload.BenchParams, opts Options) (*Result, error) {
 	res.ReturnValue = vals[Baseline]
 	for _, s := range Strategies {
 		if vals[s] != res.ReturnValue {
-			return nil, fmt.Errorf("bench %s: %s computed %d, want %d", p.Name, s, vals[s], res.ReturnValue)
+			return nil, fmt.Errorf("bench %s: %s computed %d, want %d", e.Name, s, vals[s], res.ReturnValue)
 		}
 	}
 	return res, nil
@@ -207,34 +260,15 @@ func RunWithOptions(p workload.BenchParams, opts Options) (*Result, error) {
 // the returned duration is the sum of per-procedure compute times,
 // matching the serial accounting.
 func place(prog *ir.Program, s Strategy, parallelism int) (time.Duration, error) {
-	var funcs []*ir.Func
-	for _, f := range prog.FuncsInOrder() {
-		if len(f.UsedCalleeSaved) != 0 {
-			funcs = append(funcs, f)
-		}
-	}
+	funcs := strategy.NeedsPlacement(prog)
 	var mu sync.Mutex
 	var elapsed time.Duration
 	err := par.Do(len(funcs), parallelism, func(i int) error {
 		f := funcs[i]
-		var sets []*core.Set
 		start := time.Now()
-		switch s {
-		case Baseline:
-			sets = core.EntryExit(f)
-		case Shrinkwrap:
-			sets = shrinkwrap.Compute(f, shrinkwrap.Original)
-		case Optimized, OptimizedExec:
-			t, err := pst.Build(f)
-			if err != nil {
-				return err
-			}
-			seed := shrinkwrap.Compute(f, shrinkwrap.Seed)
-			var m core.CostModel = core.JumpEdgeModel{}
-			if s == OptimizedExec {
-				m = core.ExecCountModel{}
-			}
-			sets, _ = core.Hierarchical(f, t, seed, m)
+		sets, err := strategy.Compute(f, s.technique())
+		if err != nil {
+			return err
 		}
 		d := time.Since(start)
 		mu.Lock()
@@ -272,13 +306,23 @@ func RunAll(suite []workload.BenchParams) ([]*Result, error) {
 // single benchmark (or parallelism 1) the inner stages get the pool
 // instead.
 func RunAllWithOptions(suite []workload.BenchParams, opts Options) ([]*Result, error) {
+	entries := make([]Entry, len(suite))
+	for i, p := range suite {
+		entries[i] = EntryFor(p)
+	}
+	return RunEntries(entries, opts)
+}
+
+// RunEntries is RunAllWithOptions over arbitrary entries, e.g. a
+// mixed suite of SPEC stand-ins and irgen scenario families.
+func RunEntries(entries []Entry, opts Options) ([]*Result, error) {
 	inner := opts
-	if par.Limit(opts.Parallelism, len(suite)) > 1 {
+	if par.Limit(opts.Parallelism, len(entries)) > 1 {
 		inner.Parallelism = 1
 	}
-	out := make([]*Result, len(suite))
-	err := par.Do(len(suite), opts.Parallelism, func(i int) error {
-		r, err := RunWithOptions(suite[i], inner)
+	out := make([]*Result, len(entries))
+	err := par.Do(len(entries), opts.Parallelism, func(i int) error {
+		r, err := RunEntry(entries[i], inner)
 		if err != nil {
 			return err
 		}

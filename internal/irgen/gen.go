@@ -1,0 +1,521 @@
+// Package irgen generates arbitrary valid IR programs from a seed and
+// checks them with a differential oracle that runs every placement
+// strategy from one shared register allocation. The generator covers
+// shapes far beyond internal/workload's fixed SPEC stand-ins —
+// nested and rotated loops, multi-exit conditionals, diamond chains
+// with skip edges, call DAGs with live-across-call webs, cold-guarded
+// calls, and multi-return procedures — and every program it emits
+// terminates, passes ir.VerifyProgram, and is deterministic in the
+// seed, so a failing seed is a complete bug report.
+package irgen
+
+import (
+	"repro/internal/ir"
+)
+
+// Config sets the generator's structural knobs. Probabilities are in
+// [0, 1]; the zero value is useless, start from Default or Small.
+type Config struct {
+	// Procs is the number of procedures besides main ("p0"..).
+	Procs int
+	// Segments is the number of top-level segments per procedure.
+	Segments int
+	// MaxDepth bounds structure nesting (loops in loops, diamonds in
+	// branches).
+	MaxDepth int
+
+	// LoopProb makes a segment a counted loop; RotatedProb emits it
+	// top-tested (while-shape, the "rotated" form with the branch in
+	// the header) instead of bottom-tested (do-while shape).
+	LoopProb    float64
+	RotatedProb float64
+	// NestedProb makes a loop body contain an inner loop.
+	NestedProb float64
+	// DiamondProb makes a segment a chain of 1-3 conditional diamonds;
+	// SkipProb adds forward edges from a diamond arm straight into the
+	// next diamond's join, the irreducible-adjacent shape that stresses
+	// cycle equivalence without breaking reducibility or termination.
+	DiamondProb float64
+	SkipProb    float64
+
+	// CallProb makes a segment call a lower-indexed procedure;
+	// ColdCallProb guards the call with a cold branch; VoidCallProb
+	// discards the result. InLoopCallFactor scales CallProb inside
+	// loop bodies.
+	CallProb         float64
+	ColdCallProb     float64
+	VoidCallProb     float64
+	InLoopCallFactor float64
+	// DeepCallProb lets at most one call site per procedure target any
+	// lower-indexed procedure instead of the leaf library, giving the
+	// call graph depth while keeping dynamic cost linear in Procs.
+	DeepCallProb float64
+
+	// LiveAcrossProb defines a value before a call and uses it after,
+	// forcing the web into a callee-saved register; ExtraLiveProb adds
+	// a second interfering value across the same call.
+	LiveAcrossProb float64
+	ExtraLiveProb  float64
+
+	// EarlyRetProb ends a segment with a cold conditional return,
+	// producing multi-exit CFGs and multi-return procedures.
+	EarlyRetProb float64
+	// MultiParamProb gives a procedure a second parameter.
+	MultiParamProb float64
+
+	// MaxTrip bounds loop trip counts (uniform in [2, MaxTrip]).
+	MaxTrip int
+	// StraightLen is the arithmetic chain length of straight segments.
+	StraightLen int
+	// DriverIters is the number of main-loop iterations.
+	DriverIters int64
+}
+
+// Default is the spillfuzz sweep configuration: large enough to hit
+// every structural trait, small enough that a full differential check
+// of one seed stays in the low milliseconds.
+func Default() Config {
+	return Config{
+		Procs:    6,
+		Segments: 3,
+		MaxDepth: 2,
+
+		LoopProb:    0.40,
+		RotatedProb: 0.35,
+		NestedProb:  0.35,
+		DiamondProb: 0.30,
+		SkipProb:    0.30,
+
+		CallProb:         0.55,
+		ColdCallProb:     0.45,
+		VoidCallProb:     0.15,
+		InLoopCallFactor: 0.35,
+		DeepCallProb:     0.30,
+
+		LiveAcrossProb: 0.60,
+		ExtraLiveProb:  0.25,
+
+		EarlyRetProb:   0.25,
+		MultiParamProb: 0.35,
+
+		MaxTrip:     4,
+		StraightLen: 3,
+		DriverIters: 3,
+	}
+}
+
+// Small is the fuzzing configuration: tiny programs for high
+// executions-per-second under `go test -fuzz`.
+func Small() Config {
+	c := Default()
+	c.Procs = 3
+	c.Segments = 2
+	c.MaxDepth = 1
+	c.DriverIters = 2
+	c.MaxTrip = 3
+	return c
+}
+
+// libProcs is the number of low-index leaf "library" procedures. They
+// never call and keep shallow loops, so calls into them from loop
+// bodies cannot compound into exponential dynamic cost.
+const libProcs = 2
+
+// rng is a splitmix64 generator: full-period, and statistically solid
+// even for the sequential seeds 0, 1, 2, ... a sweep feeds it.
+type rng uint64
+
+func (r *rng) next() uint64 {
+	*r += 0x9e3779b97f4a7c15
+	z := uint64(*r)
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+func (r *rng) float() float64 { return float64(r.next()>>11) / float64(1<<53) }
+func (r *rng) intn(n int) int { return int(r.next() % uint64(n)) }
+func (r *rng) trip(cfg Config) int64 {
+	max := cfg.MaxTrip
+	if max < 2 {
+		max = 2
+	}
+	return int64(2 + r.intn(max-1))
+}
+
+// Generate builds the program for the seed. Generation keeps all
+// state local, so concurrent calls are safe.
+func Generate(seed uint64, cfg Config) *ir.Program {
+	g := &gen{cfg: cfg, rng: rng(seed), prog: ir.NewProgram()}
+	if g.cfg.Procs < 1 {
+		g.cfg.Procs = 1
+	}
+	g.arity = make([]int, g.cfg.Procs)
+	for i := 0; i < g.cfg.Procs; i++ {
+		g.genProc(i)
+	}
+	g.genMain()
+	g.prog.Main = "main"
+	return g.prog
+}
+
+type gen struct {
+	cfg   Config
+	rng   rng
+	prog  *ir.Program
+	arity []int
+
+	bu       *ir.Builder
+	acc      ir.Reg
+	index    int
+	next     int
+	deepUsed bool // one deep call per procedure
+	inLoop   int  // loop nesting depth at the emission point
+}
+
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	var buf [8]byte
+	i := len(buf)
+	for n > 0 {
+		i--
+		buf[i] = byte('0' + n%10)
+		n /= 10
+	}
+	return string(buf[i:])
+}
+
+func (g *gen) block(prefix string) *ir.Block {
+	g.next++
+	return g.bu.F.NewBlock(prefix + itoa(g.next))
+}
+
+func (g *gen) isLib() bool { return g.index < libProcs }
+
+// genProc emits procedure i. Procedures may call procedures with
+// smaller indices only, so the call graph is a DAG and every program
+// terminates.
+func (g *gen) genProc(i int) {
+	g.index = i
+	g.next = 0
+	g.deepUsed = false
+	nparams := 1
+	if !g.isLib() && g.rng.float() < g.cfg.MultiParamProb {
+		nparams = 2
+	}
+	g.arity[i] = nparams
+	g.bu = ir.NewBuilder("p"+itoa(i), nparams)
+	g.bu.Block("entry")
+	g.acc = g.bu.F.NewVirt()
+	g.bu.Mov(g.acc, g.bu.F.Params[0])
+	if nparams == 2 {
+		g.bu.BinInto(ir.OpXor, g.acc, g.acc, g.bu.F.Params[1])
+	}
+
+	segments := g.cfg.Segments
+	if g.isLib() && segments > 2 {
+		segments = 2
+	}
+	if segments < 1 {
+		segments = 1
+	}
+	for s := 0; s < segments; s++ {
+		g.genSegment(0)
+	}
+	g.bu.Ret(g.acc)
+	g.prog.Add(g.bu.Finish())
+}
+
+// genSegment emits one structure into the current block chain.
+func (g *gen) genSegment(depth int) {
+	loopProb, callProb, diamondProb := g.cfg.LoopProb, g.cfg.CallProb, g.cfg.DiamondProb
+	if g.isLib() {
+		// Leaf library: no calls (their entry counts dwarf everything
+		// else, so a callee-saved web here would dominate every
+		// measurement), shallower control flow.
+		loopProb *= 0.5
+		callProb = 0
+	}
+	if g.inLoop > 0 {
+		callProb *= g.cfg.InLoopCallFactor
+	}
+	r := g.rng.float()
+	switch {
+	case depth < g.cfg.MaxDepth && r < loopProb:
+		g.genLoop(depth)
+	case r < loopProb+diamondProb && depth < g.cfg.MaxDepth+1:
+		g.genDiamonds(depth)
+	case g.index > 0 && g.rng.float() < callProb:
+		g.genCall()
+	default:
+		g.genStraight()
+	}
+	if !g.isLib() && depth == 0 && g.rng.float() < g.cfg.EarlyRetProb {
+		g.genEarlyRet()
+	}
+}
+
+// genStraight emits an arithmetic chain mutating acc.
+func (g *gen) genStraight() {
+	bu := g.bu
+	n := g.cfg.StraightLen
+	if n < 1 {
+		n = 1
+	}
+	for k := 0; k < n; k++ {
+		c := bu.Const(int64(g.rng.intn(97) + 1))
+		switch g.rng.intn(6) {
+		case 0:
+			bu.BinInto(ir.OpAdd, g.acc, g.acc, c)
+		case 1:
+			bu.BinInto(ir.OpXor, g.acc, g.acc, c)
+		case 2:
+			bu.BinInto(ir.OpSub, g.acc, g.acc, c)
+		case 3:
+			t := bu.Bin(ir.OpMul, g.acc, c)
+			mask := bu.Const(0xffff)
+			bu.BinInto(ir.OpAnd, g.acc, t, mask)
+		case 4:
+			bu.BinInto(ir.OpOr, g.acc, g.acc, c)
+		default:
+			mask := bu.Const(1023)
+			t := bu.Bin(ir.OpAnd, g.acc, mask)
+			bu.BinInto(ir.OpAdd, g.acc, t, c)
+		}
+	}
+}
+
+// condition emits a branch condition true with probability roughly
+// thresh/256, decorrelated by a salt.
+func (g *gen) condition(thresh int64) ir.Reg {
+	bu := g.bu
+	salt := bu.Const(int64(g.rng.intn(251)))
+	x := bu.Bin(ir.OpAdd, g.acc, salt)
+	mask := bu.Const(255)
+	m := bu.Bin(ir.OpAnd, x, mask)
+	th := bu.Const(thresh)
+	return bu.Bin(ir.OpCmpLT, m, th)
+}
+
+// genLoop emits a counted loop, bottom-tested (do-while) or rotated
+// (top-tested while with the test in the header), with nested
+// segments in the body. Trip counts are bounded, so loops always
+// terminate.
+func (g *gen) genLoop(depth int) {
+	bu := g.bu
+	trip := g.rng.trip(g.cfg)
+	iv := bu.F.NewVirt()
+	bu.ConstInto(iv, 0)
+
+	rotated := g.rng.float() < g.cfg.RotatedProb
+	g.inLoop++
+	if rotated {
+		header := g.block("whl")
+		body := g.block("wbd")
+		exit := g.block("wex")
+		bu.Jmp(header, 0)
+		bu.SetCurrent(header)
+		tr := bu.Const(trip)
+		c := bu.Bin(ir.OpCmpLT, iv, tr)
+		bu.Br(c, body, exit, 0, 0)
+		bu.SetCurrent(body)
+		g.loopBody(depth)
+		one := bu.Const(1)
+		bu.BinInto(ir.OpAdd, iv, iv, one)
+		bu.Jmp(header, 0)
+		bu.SetCurrent(exit)
+	} else {
+		header := g.block("lp")
+		exit := g.block("dn")
+		bu.Jmp(header, 0)
+		bu.SetCurrent(header)
+		g.loopBody(depth)
+		one := bu.Const(1)
+		bu.BinInto(ir.OpAdd, iv, iv, one)
+		tr := bu.Const(trip)
+		c := bu.Bin(ir.OpCmpLT, iv, tr)
+		bu.Br(c, header, exit, 0, 0)
+		bu.SetCurrent(exit)
+	}
+	g.inLoop--
+	// The induction variable's web often spans the body's calls,
+	// feeding it into acc keeps it live to the loop exit.
+	bu.BinInto(ir.OpAdd, g.acc, g.acc, iv)
+}
+
+// loopBody emits one or two nested segments.
+func (g *gen) loopBody(depth int) {
+	n := 1 + g.rng.intn(2)
+	for k := 0; k < n; k++ {
+		if depth+1 < g.cfg.MaxDepth && g.rng.float() < g.cfg.NestedProb {
+			g.genLoop(depth + 1)
+		} else {
+			g.genSegment(depth + 1)
+		}
+	}
+}
+
+// genDiamonds emits a chain of 1-3 conditional diamonds. With
+// SkipProb, an arm jumps past its own join straight into the next
+// diamond's join — adjacent diamonds then share boundary blocks in
+// the way that stresses cycle-equivalence classes.
+func (g *gen) genDiamonds(depth int) {
+	bu := g.bu
+	n := 1 + g.rng.intn(3)
+	// Pre-create the join blocks so an arm can target the next join.
+	joins := make([]*ir.Block, n)
+	for i := range joins {
+		joins[i] = g.block("dj")
+	}
+	for i := 0; i < n; i++ {
+		c := g.condition(128)
+		left := g.block("dl")
+		right := g.block("dr")
+		bu.Br(c, left, right, 0, 0)
+
+		bu.SetCurrent(left)
+		g.armBody(depth)
+		if i+1 < n && g.rng.float() < g.cfg.SkipProb {
+			bu.Jmp(joins[i+1], 0)
+		} else {
+			bu.Jmp(joins[i], 0)
+		}
+
+		bu.SetCurrent(right)
+		g.armBody(depth)
+		bu.Jmp(joins[i], 0)
+
+		bu.SetCurrent(joins[i])
+	}
+}
+
+// armBody fills a diamond arm: straight code, or a nested structure
+// when depth allows.
+func (g *gen) armBody(depth int) {
+	if depth < g.cfg.MaxDepth && g.rng.float() < 0.25 {
+		g.genSegment(depth + 1)
+		return
+	}
+	g.genStraight()
+}
+
+// genEarlyRet emits a cold conditional procedure return, so the
+// procedure has several exit blocks returning different expressions.
+func (g *gen) genEarlyRet() {
+	bu := g.bu
+	c := g.condition(24)
+	retB := g.block("ret")
+	contB := g.block("cnt")
+	bu.Br(c, retB, contB, 0, 0)
+	bu.SetCurrent(retB)
+	salt := bu.Const(int64(g.rng.intn(89) + 1))
+	r := bu.Bin(ir.OpXor, g.acc, salt)
+	bu.Ret(r)
+	bu.SetCurrent(contB)
+}
+
+// genCall emits a call segment: possibly cold-guarded, possibly void,
+// possibly with one or two values live across the call. Callees come
+// from the leaf library, except one deep call per procedure that may
+// target any lower-indexed procedure.
+func (g *gen) genCall() {
+	bu := g.bu
+	lib := g.index
+	if lib > libProcs {
+		lib = libProcs
+	}
+	calleeIdx := g.rng.intn(lib)
+	if !g.deepUsed && g.inLoop == 0 && g.index > libProcs && g.rng.float() < g.cfg.DeepCallProb {
+		calleeIdx = libProcs + g.rng.intn(g.index-libProcs)
+		g.deepUsed = true
+	}
+	callee := "p" + itoa(calleeIdx)
+
+	cold := g.rng.float() < g.cfg.ColdCallProb
+	var joinB *ir.Block
+	if cold {
+		c := g.condition(26)
+		thenB := g.block("cc")
+		joinB = g.block("cj")
+		bu.Br(c, thenB, joinB, 0, 0)
+		bu.SetCurrent(thenB)
+	}
+
+	var live, live2 ir.Reg = ir.NoReg, ir.NoReg
+	if g.rng.float() < g.cfg.LiveAcrossProb {
+		three := bu.Const(3)
+		live = bu.Bin(ir.OpMul, g.acc, three)
+		if g.rng.float() < g.cfg.ExtraLiveProb {
+			five := bu.Const(5)
+			live2 = bu.Bin(ir.OpMul, g.acc, five)
+		}
+	}
+
+	args := []ir.Reg{g.acc}
+	if g.arity[calleeIdx] == 2 {
+		args = append(args, bu.Const(int64(g.rng.intn(1000))))
+	}
+	if g.rng.float() < g.cfg.VoidCallProb {
+		bu.Call(ir.NoReg, callee, args...)
+	} else {
+		r := bu.F.NewVirt()
+		bu.Call(r, callee, args...)
+		salt := bu.Const(int64(g.rng.intn(89) + 1))
+		bu.BinInto(ir.OpAdd, g.acc, r, salt)
+	}
+	if live2 != ir.NoReg {
+		bu.BinInto(ir.OpAdd, g.acc, g.acc, live2)
+	}
+	if live != ir.NoReg {
+		bu.BinInto(ir.OpXor, g.acc, g.acc, live)
+	}
+
+	if cold {
+		bu.Jmp(joinB, 0)
+		bu.SetCurrent(joinB)
+	}
+}
+
+// genMain emits the driver: DriverIters iterations invoking every
+// procedure with arguments mixing the iteration count and main's own
+// parameter, so different program arguments exercise different paths.
+func (g *gen) genMain() {
+	iters := g.cfg.DriverIters
+	if iters < 1 {
+		iters = 1
+	}
+	bu := ir.NewBuilder("main", 1)
+	bu.Block("entry")
+	total := bu.F.NewVirt()
+	i := bu.F.NewVirt()
+	bu.Mov(total, bu.F.Params[0])
+	bu.ConstInto(i, 0)
+	loop := bu.F.NewBlock("loop")
+	exit := bu.F.NewBlock("exit")
+	bu.Jmp(loop, 0)
+	bu.SetCurrent(loop)
+	for pi := 0; pi < g.cfg.Procs; pi++ {
+		step := bu.Const(int64(pi)*37 + 11)
+		arg := bu.Bin(ir.OpMul, i, step)
+		mix := bu.Bin(ir.OpAdd, arg, total)
+		args := []ir.Reg{mix}
+		if g.arity[pi] == 2 {
+			args = append(args, i)
+		}
+		r := bu.F.NewVirt()
+		bu.Call(r, "p"+itoa(pi), args...)
+		bu.BinInto(ir.OpAdd, total, total, r)
+		mask := bu.Const(0xffffff)
+		bu.BinInto(ir.OpAnd, total, total, mask)
+	}
+	one := bu.Const(1)
+	bu.BinInto(ir.OpAdd, i, i, one)
+	n := bu.Const(iters)
+	c := bu.Bin(ir.OpCmpLT, i, n)
+	bu.Br(c, loop, exit, 0, 0)
+	bu.SetCurrent(exit)
+	bu.Ret(total)
+	g.prog.Add(bu.Finish())
+}

@@ -1,0 +1,274 @@
+package irgen
+
+import (
+	"repro/internal/ir"
+)
+
+// Reduce shrinks prog while keep(candidate) stays true, returning the
+// smallest program found. It greedily tries, in order of expected
+// payoff: dropping whole uncalled functions, collapsing conditional
+// branches to one side (pruning whatever becomes unreachable), and
+// deleting single instructions (calls are replaced by a zero
+// constant so their result stays defined). Every candidate passes
+// ir.VerifyProgram before keep sees it, so keep can assume a valid
+// program; keep is responsible for rejecting candidates that fail
+// differently from the original (e.g. by comparing the violated
+// invariant). maxRounds bounds the fixpoint iteration.
+//
+// The input program is not mutated.
+func Reduce(prog *ir.Program, keep func(*ir.Program) bool, maxRounds int) *ir.Program {
+	cur := prog.Clone()
+	for round := 0; round < maxRounds; round++ {
+		shrunk := false
+		names := append([]string(nil), cur.Order...)
+
+		// Drop uncalled functions (main stays).
+		for _, name := range names {
+			if name == cur.Main || cur.Func(name) == nil || called(cur, name) {
+				continue
+			}
+			cand := withoutFunc(cur, name)
+			if cand != nil && keep(cand) {
+				cur = cand
+				shrunk = true
+			}
+		}
+
+		// Collapse branches: br -> jmp to one side. Accepting a
+		// candidate replaces cur, so the function is re-fetched by name
+		// and indices never refer to a stale program.
+		for _, name := range names {
+			for bi := 0; ; bi++ {
+				f := cur.Func(name)
+				if f == nil || bi >= len(f.Blocks) {
+					break
+				}
+				t := f.Blocks[bi].Terminator()
+				if t == nil || t.Op != ir.OpBr {
+					continue
+				}
+				for side := 0; side < 2; side++ {
+					keepThen := side == 0
+					cand := mutate(cur, name, func(mf *ir.Func) bool {
+						return collapseBranch(mf, bi, keepThen)
+					})
+					if cand != nil && keep(cand) {
+						cur = cand
+						shrunk = true
+						break
+					}
+				}
+			}
+		}
+
+		// Merge a block into its sole-predecessor jmp source, collapsing
+		// the straight-line chains that branch collapses leave behind.
+		for _, name := range names {
+			for bi := 0; ; bi++ {
+				f := cur.Func(name)
+				if f == nil || bi >= len(f.Blocks) {
+					break
+				}
+				cand := mutate(cur, name, func(mf *ir.Func) bool {
+					return mergeIntoPred(mf, bi)
+				})
+				if cand != nil && keep(cand) {
+					cur = cand
+					shrunk = true
+					bi-- // the layout shifted; revisit this slot
+				}
+			}
+		}
+
+		// Delete single instructions.
+		for _, name := range names {
+			for bi := 0; ; bi++ {
+				f := cur.Func(name)
+				if f == nil || bi >= len(f.Blocks) {
+					break
+				}
+				for ii := 0; ii < len(cur.Func(name).Blocks[bi].Instrs); {
+					idx := ii
+					cand := mutate(cur, name, func(mf *ir.Func) bool {
+						return dropInstr(mf, bi, idx)
+					})
+					if cand != nil && keep(cand) {
+						cur = cand
+						shrunk = true
+						// The deleted slot now holds the next
+						// instruction (or a replacement): revisit it.
+						continue
+					}
+					ii++
+				}
+			}
+		}
+
+		if !shrunk {
+			break
+		}
+	}
+	return cur
+}
+
+// called reports whether any function in prog calls name.
+func called(prog *ir.Program, name string) bool {
+	for _, f := range prog.FuncsInOrder() {
+		for _, b := range f.Blocks {
+			for _, in := range b.Instrs {
+				if in.Op == ir.OpCall && in.Callee == name {
+					return true
+				}
+			}
+		}
+	}
+	return false
+}
+
+// withoutFunc returns a clone of prog lacking the named function, or
+// nil if the result is invalid.
+func withoutFunc(prog *ir.Program, name string) *ir.Program {
+	np := ir.NewProgram()
+	for _, f := range prog.FuncsInOrder() {
+		if f.Name != name {
+			np.Add(f.Clone())
+		}
+	}
+	np.Main = prog.Main
+	if ir.VerifyProgram(np) != nil {
+		return nil
+	}
+	return np
+}
+
+// mutate clones prog, applies fn to the named function's clone, prunes
+// unreachable blocks, and returns the candidate — or nil when fn made
+// no change or the result is invalid.
+func mutate(prog *ir.Program, fname string, fn func(*ir.Func) bool) *ir.Program {
+	cand := prog.Clone()
+	mf := cand.Func(fname)
+	if mf == nil || !fn(mf) {
+		return nil
+	}
+	pruneUnreachable(mf)
+	if ir.VerifyProgram(cand) != nil {
+		return nil
+	}
+	return cand
+}
+
+// collapseBranch rewrites block bi's br terminator into a jmp to its
+// then (or else) target, removing the other edge.
+func collapseBranch(f *ir.Func, bi int, keepThen bool) bool {
+	if bi >= len(f.Blocks) {
+		return false
+	}
+	b := f.Blocks[bi]
+	t := b.Terminator()
+	if t == nil || t.Op != ir.OpBr {
+		return false
+	}
+	kept, dropped := t.Then, t.Else
+	if !keepThen {
+		kept, dropped = t.Else, t.Then
+	}
+	if e := b.SuccEdge(dropped); e != nil {
+		f.RemoveEdge(e)
+	}
+	t.Op = ir.OpJmp
+	t.Src1 = ir.NoReg
+	t.Then = kept
+	t.Else = nil
+	return true
+}
+
+// dropInstr removes instruction ii of block bi; a call with a result
+// becomes a zero constant so downstream uses stay defined.
+func dropInstr(f *ir.Func, bi, ii int) bool {
+	if bi >= len(f.Blocks) || ii >= len(f.Blocks[bi].Instrs) {
+		return false
+	}
+	b := f.Blocks[bi]
+	in := b.Instrs[ii]
+	if in.Op.IsTerminator() {
+		return false
+	}
+	if in.Op == ir.OpCall && in.Dst.IsValid() {
+		b.Instrs[ii] = &ir.Instr{Op: ir.OpConst, Dst: in.Dst, Src1: ir.NoReg, Src2: ir.NoReg}
+		return true
+	}
+	b.Instrs = append(b.Instrs[:ii], b.Instrs[ii+1:]...)
+	return len(b.Instrs) > 0
+}
+
+// mergeIntoPred folds block bi into its single predecessor when that
+// predecessor ends in an unconditional jump to it: the jmp is replaced
+// by the block's instructions and the block leaves the layout.
+func mergeIntoPred(f *ir.Func, bi int) bool {
+	if bi >= len(f.Blocks) {
+		return false
+	}
+	c := f.Blocks[bi]
+	if c == f.Entry || len(c.Preds) != 1 {
+		return false
+	}
+	b := c.Preds[0].From
+	if b == c {
+		return false
+	}
+	t := b.Terminator()
+	if t == nil || t.Op != ir.OpJmp || t.Then != c {
+		return false
+	}
+	b.Instrs = b.Instrs[:len(b.Instrs)-1]
+	b.Instrs = append(b.Instrs, c.Instrs...)
+	f.RemoveEdge(c.Preds[0])
+	for len(c.Succs) > 0 {
+		e := c.Succs[0]
+		f.RemoveEdge(e)
+		f.AddEdge(b, e.To, e.Kind, e.Weight)
+	}
+	for i, blk := range f.Blocks {
+		if blk == c {
+			f.Blocks = append(f.Blocks[:i], f.Blocks[i+1:]...)
+			break
+		}
+	}
+	f.RenumberBlocks()
+	f.ClassifyEdges()
+	return true
+}
+
+// pruneUnreachable removes blocks unreachable from the entry, together
+// with their edges, then renumbers and reclassifies.
+func pruneUnreachable(f *ir.Func) {
+	reached := make(map[*ir.Block]bool, len(f.Blocks))
+	stack := []*ir.Block{f.Entry}
+	reached[f.Entry] = true
+	for len(stack) > 0 {
+		b := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, e := range b.Succs {
+			if !reached[e.To] {
+				reached[e.To] = true
+				stack = append(stack, e.To)
+			}
+		}
+	}
+	var live []*ir.Block
+	for _, b := range f.Blocks {
+		if reached[b] {
+			live = append(live, b)
+			continue
+		}
+		for len(b.Succs) > 0 {
+			f.RemoveEdge(b.Succs[0])
+		}
+		for len(b.Preds) > 0 {
+			f.RemoveEdge(b.Preds[0])
+		}
+	}
+	f.Blocks = live
+	f.RenumberBlocks()
+	f.ClassifyEdges()
+}

@@ -1,0 +1,82 @@
+package irgen
+
+import (
+	"testing"
+
+	"repro/internal/ir"
+)
+
+func progSize(p *ir.Program) int {
+	n := 0
+	for _, f := range p.FuncsInOrder() {
+		n += f.Instrs()
+	}
+	return n
+}
+
+// TestReduceShrinksWhilePreserving: reducing under a predicate that
+// demands callee-saved pressure keeps the property and the program
+// valid while getting (much) smaller.
+func TestReduceShrinksWhilePreserving(t *testing.T) {
+	found := 0
+	for seed := uint64(0); seed < 20 && found < 3; seed++ {
+		prog := Generate(seed, Default())
+		keep := func(p *ir.Program) bool {
+			r := Check(p, Options{MaxSteps: 1 << 22})
+			return !r.Failed() && r.CalleeSavedFuncs > 0
+		}
+		if !keep(prog) {
+			continue
+		}
+		found++
+		before := progSize(prog)
+		red := Reduce(prog, keep, 3)
+		if err := ir.VerifyProgram(red); err != nil {
+			t.Fatalf("seed %d: reduced program invalid: %v", seed, err)
+		}
+		if !keep(red) {
+			t.Fatalf("seed %d: reduction lost the property", seed)
+		}
+		after := progSize(red)
+		if after > before {
+			t.Errorf("seed %d: reduction grew the program (%d -> %d)", seed, before, after)
+		}
+		t.Logf("seed %d: %d -> %d instructions", seed, before, after)
+	}
+	if found == 0 {
+		t.Fatal("no interesting seeds found")
+	}
+}
+
+// TestReduceToViolation: plant a real defect (a broken cost model),
+// then reduce while the same invariant keeps failing — the minimized
+// reproducer must still trip the oracle.
+func TestReduceToViolation(t *testing.T) {
+	opts := Options{ExecModel: hotModel{}, MaxSteps: 1 << 22}
+	violated := func(p *ir.Program) bool {
+		for _, v := range Check(p, opts).Violations {
+			if v.Invariant == "exec-optimal" {
+				return true
+			}
+		}
+		return false
+	}
+	for seed := uint64(0); seed < 40; seed++ {
+		prog := Generate(seed, Default())
+		if !violated(prog) {
+			continue
+		}
+		before := progSize(prog)
+		red := Reduce(prog, violated, 3)
+		if !violated(red) {
+			t.Fatal("reduction lost the violation")
+		}
+		after := progSize(red)
+		t.Logf("seed %d: reproducer %d -> %d instructions", seed, before, after)
+		if after >= before {
+			t.Errorf("reducer made no progress (%d -> %d)", before, after)
+		}
+		return
+	}
+	t.Fatal("no violating seed found to reduce")
+}

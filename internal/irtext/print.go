@@ -12,9 +12,16 @@ import (
 	"repro/internal/ir"
 )
 
-// Print renders the whole program.
+// Print renders the whole program. A "main NAME" directive is emitted
+// when the entry function is not the first function, so Parse(Print(p))
+// preserves the entry point for any function order.
 func Print(p *ir.Program) string {
 	var b strings.Builder
+	if p.Main != "" && len(p.Order) > 0 && p.Order[0] != p.Main {
+		b.WriteString("main ")
+		b.WriteString(p.Main)
+		b.WriteString("\n\n")
+	}
 	for i, f := range p.FuncsInOrder() {
 		if i > 0 {
 			b.WriteString("\n")

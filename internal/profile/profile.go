@@ -15,7 +15,16 @@ import (
 // every function's EntryCount. It returns the VM statistics of the
 // profiling run.
 func Collect(prog *ir.Program, args ...int64) (*vm.Stats, error) {
-	m := vm.New(prog, vm.Config{CollectEdges: true})
+	return CollectWithConfig(prog, vm.Config{}, args...)
+}
+
+// CollectWithConfig is Collect with control over the profiling VM —
+// the fuzzing oracle caps MaxSteps so a reduced-but-nonterminating
+// candidate is rejected quickly instead of spinning for the default
+// step budget. CollectEdges is forced on.
+func CollectWithConfig(prog *ir.Program, cfg vm.Config, args ...int64) (*vm.Stats, error) {
+	cfg.CollectEdges = true
+	m := vm.New(prog, cfg)
 	if _, err := m.Run(args...); err != nil {
 		return nil, fmt.Errorf("profile: %w", err)
 	}

@@ -1,0 +1,167 @@
+package pst_test
+
+// Property tests of PST construction over irgen's random programs —
+// far wilder CFGs (rotated loops, diamond chains with skip edges,
+// multi-exit procedures) than cfgtest.RandomStructured emits. The
+// external test package breaks the import cycle: irgen's oracle
+// imports pst.
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"testing"
+
+	"repro/internal/ir"
+	"repro/internal/irgen"
+	"repro/internal/pst"
+)
+
+// regionSignature renders a region's identity independent of block
+// layout order: boundary edges plus the sorted member-name set.
+func regionSignature(r *pst.Region) string {
+	names := make([]string, len(r.Blocks))
+	for i, b := range r.Blocks {
+		names[i] = b.Name
+	}
+	sort.Strings(names)
+	entry := "proc-entry"
+	if r.EntryEdge != nil {
+		entry = r.EntryEdge.From.Name + "->" + r.EntryEdge.To.Name
+	}
+	exit := "proc-exit"
+	switch {
+	case r.ExitEdge != nil:
+		exit = r.ExitEdge.From.Name + "->" + r.ExitEdge.To.Name
+	case r.ExitBlock != nil:
+		exit = "end-of-" + r.ExitBlock.Name
+	}
+	return fmt.Sprintf("[%s..%s]{%s}", entry, exit, strings.Join(names, " "))
+}
+
+func treeSignature(t *pst.PST) string {
+	sigs := make([]string, len(t.Regions))
+	for i, r := range t.Regions {
+		parent := "-"
+		if r.Parent != nil {
+			parent = regionSignature(r.Parent)
+		}
+		sigs[i] = regionSignature(r) + "<" + parent
+	}
+	sort.Strings(sigs)
+	return strings.Join(sigs, "\n")
+}
+
+// TestPSTRegionsAreSESE: every non-root region of a generated CFG has
+// exactly the entering and leaving edges its boundary encoding claims
+// — a single entry edge (or none, for a procedure-entry boundary) and
+// a single exit edge (or none, when the exit is the end of an exit
+// block).
+func TestPSTRegionsAreSESE(t *testing.T) {
+	funcs := 0
+	for seed := uint64(0); seed < 60; seed++ {
+		prog := irgen.Generate(seed, irgen.Default())
+		for _, f := range prog.FuncsInOrder() {
+			tree, err := pst.Build(f)
+			if err != nil {
+				t.Fatalf("seed %d %s: %v", seed, f.Name, err)
+			}
+			funcs++
+			for _, r := range tree.Regions {
+				if r.IsRoot() {
+					continue
+				}
+				var entering, leaving []*ir.Edge
+				for _, b := range r.Blocks {
+					for _, e := range b.Preds {
+						if !r.ContainsBlock(e.From) {
+							entering = append(entering, e)
+						}
+					}
+					for _, e := range b.Succs {
+						if !r.ContainsBlock(e.To) {
+							leaving = append(leaving, e)
+						}
+					}
+				}
+				switch {
+				case r.EntryEdge != nil:
+					if len(entering) != 1 || entering[0] != r.EntryEdge {
+						t.Errorf("seed %d %s: region %v has %d entering edges, want exactly its entry edge",
+							seed, f.Name, r, len(entering))
+					}
+				default:
+					if len(entering) != 0 || !r.ContainsBlock(f.Entry) {
+						t.Errorf("seed %d %s: proc-entry region %v has %d external entering edges",
+							seed, f.Name, r, len(entering))
+					}
+				}
+				switch {
+				case r.ExitEdge != nil:
+					if len(leaving) != 1 || leaving[0] != r.ExitEdge {
+						t.Errorf("seed %d %s: region %v has %d leaving edges, want exactly its exit edge",
+							seed, f.Name, r, len(leaving))
+					}
+				default:
+					if len(leaving) != 0 {
+						t.Errorf("seed %d %s: block-exit region %v has %d leaving edges, want 0",
+							seed, f.Name, r, len(leaving))
+					}
+				}
+			}
+		}
+	}
+	if funcs == 0 {
+		t.Fatal("no functions generated")
+	}
+}
+
+// TestPSTCanonicalUnderLayoutPermutation: the PST depends only on the
+// CFG's structure, so permuting the block layout (which changes edge
+// kinds and IDs but no adjacency) must produce the identical tree.
+func TestPSTCanonicalUnderLayoutPermutation(t *testing.T) {
+	permuted := 0
+	for seed := uint64(0); seed < 30; seed++ {
+		prog := irgen.Generate(seed, irgen.Default())
+		for _, f := range prog.FuncsInOrder() {
+			if len(f.Blocks) < 4 {
+				continue
+			}
+			ref, err := pst.Build(f)
+			if err != nil {
+				t.Fatalf("seed %d %s: %v", seed, f.Name, err)
+			}
+			want := treeSignature(ref)
+			rng := seed*31 + 17
+			for trial := 0; trial < 3; trial++ {
+				g := f.Clone()
+				// Fisher-Yates over Blocks[1:]; the entry stays first so
+				// the textual form and Verify's conventions hold.
+				for i := len(g.Blocks) - 1; i > 1; i-- {
+					rng ^= rng << 13
+					rng ^= rng >> 7
+					rng ^= rng << 17
+					j := 1 + int(rng%uint64(i))
+					g.Blocks[i], g.Blocks[j] = g.Blocks[j], g.Blocks[i]
+				}
+				g.RenumberBlocks()
+				g.ClassifyEdges()
+				if err := ir.Verify(g); err != nil {
+					t.Fatalf("seed %d %s: permuted clone invalid: %v", seed, f.Name, err)
+				}
+				tree, err := pst.Build(g)
+				if err != nil {
+					t.Fatalf("seed %d %s: permuted build: %v", seed, f.Name, err)
+				}
+				if got := treeSignature(tree); got != want {
+					t.Fatalf("seed %d %s: PST differs under layout permutation\n-- layout order --\n%s\n-- permuted --\n%s",
+						seed, f.Name, want, got)
+				}
+				permuted++
+			}
+		}
+	}
+	if permuted == 0 {
+		t.Fatal("no permutations exercised")
+	}
+}

@@ -1,0 +1,154 @@
+// Package strategy enumerates the callee-saved spill code placement
+// techniques the reproduction compares and computes their save/restore
+// sets. It is the single dispatch point shared by the public facade
+// (spillopt), the evaluation harness (internal/bench), and the
+// differential fuzzing oracle (internal/irgen): all three used to
+// carry their own copy of this switch, and a strategy added or fixed
+// in one place silently diverged from the others.
+package strategy
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/ir"
+	"repro/internal/par"
+	"repro/internal/pst"
+	"repro/internal/shrinkwrap"
+)
+
+// Strategy selects a placement technique.
+type Strategy int
+
+const (
+	// EntryExit saves at procedure entry and restores at every exit
+	// (the paper's baseline).
+	EntryExit Strategy = iota
+	// Shrinkwrap is Chow's original technique: artificial data flow
+	// keeps spill code off jump edges.
+	Shrinkwrap
+	// ShrinkwrapSeed is the paper's modified shrink-wrapping (spill
+	// code may sit on jump edges), the hierarchical algorithm's seed.
+	ShrinkwrapSeed
+	// HierarchicalExec is the paper's algorithm under the execution
+	// count cost model (provably optimal under that model).
+	HierarchicalExec
+	// HierarchicalJump is the paper's algorithm under the jump edge
+	// cost model — the configuration the paper evaluates.
+	HierarchicalJump
+	numStrategies
+)
+
+// All lists every strategy in declaration order.
+var All = []Strategy{EntryExit, Shrinkwrap, ShrinkwrapSeed, HierarchicalExec, HierarchicalJump}
+
+// Count is the number of strategies.
+const Count = int(numStrategies)
+
+// String names the strategy.
+func (s Strategy) String() string {
+	switch s {
+	case EntryExit:
+		return "entry-exit"
+	case Shrinkwrap:
+		return "shrinkwrap"
+	case ShrinkwrapSeed:
+		return "shrinkwrap-seed"
+	case HierarchicalExec:
+		return "hierarchical-exec"
+	case HierarchicalJump:
+		return "hierarchical-jump"
+	}
+	return "?"
+}
+
+// IsHierarchical reports whether the strategy runs the paper's
+// hierarchical traversal (and therefore consumes a cost model).
+func (s Strategy) IsHierarchical() bool {
+	return s == HierarchicalExec || s == HierarchicalJump
+}
+
+// Model returns the cost model the strategy optimizes, or nil for the
+// strategies that do not consume one.
+func (s Strategy) Model() core.CostModel {
+	switch s {
+	case HierarchicalExec:
+		return core.ExecCountModel{}
+	case HierarchicalJump:
+		return core.JumpEdgeModel{}
+	}
+	return nil
+}
+
+// Compute returns the strategy's save/restore sets for one allocated
+// function. The function is not mutated.
+func Compute(f *ir.Func, s Strategy) ([]*core.Set, error) {
+	return ComputeWithModel(f, s, nil)
+}
+
+// ComputeWithModel is Compute with the hierarchical strategies' cost
+// model overridden when m is non-nil. The differential oracle uses the
+// override to prove it can catch a broken model; every production
+// caller passes nil and gets the paper's models.
+func ComputeWithModel(f *ir.Func, s Strategy, m core.CostModel) ([]*core.Set, error) {
+	switch s {
+	case EntryExit:
+		return core.EntryExit(f), nil
+	case Shrinkwrap:
+		return shrinkwrap.Compute(f, shrinkwrap.Original), nil
+	case ShrinkwrapSeed:
+		return shrinkwrap.Compute(f, shrinkwrap.Seed), nil
+	case HierarchicalExec, HierarchicalJump:
+		t, err := pst.Build(f)
+		if err != nil {
+			return nil, err
+		}
+		seed := shrinkwrap.Compute(f, shrinkwrap.Seed)
+		if m == nil {
+			m = s.Model()
+		}
+		sets, _ := core.Hierarchical(f, t, seed, m)
+		return sets, nil
+	}
+	return nil, fmt.Errorf("strategy: unknown strategy %d", int(s))
+}
+
+// Place computes the strategy's sets for f, validates them, and
+// applies them (inserting save/restore code and jump blocks).
+func Place(f *ir.Func, s Strategy) error {
+	sets, err := Compute(f, s)
+	if err != nil {
+		return err
+	}
+	if err := core.ValidateSets(f, sets); err != nil {
+		return err
+	}
+	return core.Apply(f, sets)
+}
+
+// PlaceProgram applies the strategy to every function of prog that
+// uses callee-saved registers, fanning the independent per-function
+// pipelines (PST build, seeding, traversal, validation, apply) across
+// a bounded worker pool. parallelism <= 0 means GOMAXPROCS.
+func PlaceProgram(prog *ir.Program, s Strategy, parallelism int) error {
+	funcs := NeedsPlacement(prog)
+	return par.Do(len(funcs), parallelism, func(i int) error {
+		if err := Place(funcs[i], s); err != nil {
+			return fmt.Errorf("%s: %w", funcs[i].Name, err)
+		}
+		return nil
+	})
+}
+
+// NeedsPlacement returns the functions whose allocation uses
+// callee-saved registers, in program order — the functions placement
+// must visit.
+func NeedsPlacement(prog *ir.Program) []*ir.Func {
+	var funcs []*ir.Func
+	for _, f := range prog.FuncsInOrder() {
+		if len(f.UsedCalleeSaved) != 0 {
+			funcs = append(funcs, f)
+		}
+	}
+	return funcs
+}

@@ -26,11 +26,10 @@ import (
 	"repro/internal/ir"
 	"repro/internal/irtext"
 	"repro/internal/machine"
-	"repro/internal/par"
 	"repro/internal/profile"
 	"repro/internal/pst"
 	"repro/internal/regalloc"
-	"repro/internal/shrinkwrap"
+	"repro/internal/strategy"
 	"repro/internal/vm"
 )
 
@@ -171,60 +170,32 @@ func (p *Program) Place(s Strategy) error {
 	if p.placed {
 		return fmt.Errorf("spillopt: already placed")
 	}
-	var funcs []*ir.Func
-	for _, f := range p.prog.FuncsInOrder() {
-		if len(f.UsedCalleeSaved) != 0 {
-			funcs = append(funcs, f)
-		}
-	}
 	// Each placement reads and mutates only its own function, so the
 	// per-function pipeline (PST build, shrink-wrap seed, hierarchical
 	// traversal, validation, apply) fans out across the pool.
-	err := par.Do(len(funcs), p.Parallelism, func(i int) error {
-		f := funcs[i]
-		sets, err := computeSets(f, s)
-		if err != nil {
-			return err
-		}
-		if err := core.ValidateSets(f, sets); err != nil {
-			return err
-		}
-		return core.Apply(f, sets)
-	})
-	if err != nil {
+	if err := strategy.PlaceProgram(p.prog, computeStrategy(s), p.Parallelism); err != nil {
 		return err
 	}
 	p.placed = true
 	return nil
 }
 
-func computeSets(f *ir.Func, s Strategy) ([]*core.Set, error) {
-	switch s {
-	case EntryExit:
-		return core.EntryExit(f), nil
-	case Shrinkwrap:
-		return shrinkwrap.Compute(f, shrinkwrap.Original), nil
-	case ShrinkwrapSeed:
-		return shrinkwrap.Compute(f, shrinkwrap.Seed), nil
-	case HierarchicalExec, HierarchicalJump:
-		t, err := pst.Build(f)
-		if err != nil {
-			return nil, err
-		}
-		seed := shrinkwrap.Compute(f, shrinkwrap.Seed)
-		var m core.CostModel = core.JumpEdgeModel{}
-		if s == HierarchicalExec {
-			m = core.ExecCountModel{}
-		}
-		sets, _ := core.Hierarchical(f, t, seed, m)
-		return sets, nil
-	}
-	return nil, fmt.Errorf("spillopt: unknown strategy %v", s)
+// computeStrategy maps the public enum to the shared dispatch in
+// internal/strategy. The two enums declare the same values in the same
+// order; the tests pin the correspondence.
+func computeStrategy(s Strategy) strategy.Strategy { return strategy.Strategy(s) }
+
+// Functions returns the program's function names in definition order.
+func (p *Program) Functions() []string {
+	return append([]string(nil), p.prog.Order...)
 }
 
 // PlacementCost returns, without mutating the program, the modeled
 // dynamic overhead of a strategy's placement for one function under
 // the jump edge cost model. Useful for comparing strategies cheaply.
+// For a placement with no jump blocks (EntryExit always qualifies)
+// the model is exact: summed over all functions it equals the
+// save/restore overhead a Run with the profiling arguments measures.
 func (p *Program) PlacementCost(funcName string, s Strategy) (int64, error) {
 	f := p.prog.Func(funcName)
 	if f == nil {
@@ -233,7 +204,7 @@ func (p *Program) PlacementCost(funcName string, s Strategy) (int64, error) {
 	if !p.allocated && len(f.UsedCalleeSaved) == 0 {
 		return 0, fmt.Errorf("spillopt: %s not allocated", funcName)
 	}
-	sets, err := computeSets(f, s)
+	sets, err := strategy.Compute(f, computeStrategy(s))
 	if err != nil {
 		return 0, err
 	}

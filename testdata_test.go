@@ -2,13 +2,71 @@ package spillopt
 
 // End-to-end tests over the checked-in example programs: every
 // strategy compiles them, the results match the unplaced reference,
-// and the hierarchical placement is never more expensive.
+// and the hierarchical placement is never more expensive. The sweep
+// test feeds every testdata/*.ir file — the hand-written examples and
+// the minimized generator samples alike — through the differential
+// oracle, so dropping a new .ir file into testdata/ is all it takes
+// to put a program under the full invariant battery.
 
 import (
 	"os"
 	"path/filepath"
+	"strconv"
+	"strings"
 	"testing"
+
+	"repro/internal/irgen"
 )
+
+// oracleArgs extracts a program's "# oracle args: N" header comment;
+// programs without one run with 40.
+func oracleArgs(t *testing.T, src string) []int64 {
+	t.Helper()
+	for _, line := range strings.Split(src, "\n") {
+		rest, ok := strings.CutPrefix(strings.TrimSpace(line), "# oracle args:")
+		if !ok {
+			continue
+		}
+		var args []int64
+		for _, f := range strings.Fields(rest) {
+			n, err := strconv.ParseInt(f, 10, 64)
+			if err != nil {
+				t.Fatalf("bad oracle args comment %q: %v", line, err)
+			}
+			args = append(args, n)
+		}
+		return args
+	}
+	return []int64{40}
+}
+
+// TestTestdataOracle sweeps every checked-in .ir program through the
+// differential strategy-equivalence oracle, running each with the
+// arguments its "# oracle args: N" header documents (default 40).
+func TestTestdataOracle(t *testing.T) {
+	files, err := filepath.Glob(filepath.Join("testdata", "*.ir"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(files) < 8 {
+		t.Fatalf("expected the 2 hand-written and >=6 generated programs, found %d files", len(files))
+	}
+	for _, path := range files {
+		t.Run(filepath.Base(path), func(t *testing.T) {
+			b, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			r := irgen.CheckSource(string(b), irgen.Options{Args: oracleArgs(t, string(b))})
+			for _, v := range r.Violations {
+				t.Errorf("%v", v)
+			}
+			if r.Instrs == 0 {
+				t.Error("program executed no instructions")
+			}
+		})
+	}
+}
 
 func loadTestdata(t *testing.T, name string) string {
 	t.Helper()
