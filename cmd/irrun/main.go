@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	irrun [-arg N] [-profile] [-check] prog.ir
+//	irrun [-arg N] [-profile] [-check] [-engine bytecode|tree] prog.ir
 package main
 
 import (
@@ -23,7 +23,13 @@ func main() {
 	arg := flag.Int64("arg", 0, "argument passed to main")
 	prof := flag.Bool("profile", false, "print per-edge execution counts")
 	check := flag.Bool("check", false, "enforce the callee-saved register convention")
+	engine := flag.String("engine", "bytecode", "execution engine: bytecode or tree (the legacy reference)")
 	flag.Parse()
+
+	eng, err := vm.ParseEngine(*engine)
+	if err != nil {
+		fatal(err)
+	}
 
 	if flag.NArg() != 1 {
 		fmt.Fprintln(os.Stderr, "usage: irrun [flags] prog.ir")
@@ -38,7 +44,7 @@ func main() {
 		fatal(err)
 	}
 
-	cfg := vm.Config{CollectEdges: *prof}
+	cfg := vm.Config{CollectEdges: *prof, Engine: eng}
 	if *check {
 		cfg.Machine = machine.PARISC()
 	}

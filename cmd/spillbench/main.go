@@ -5,11 +5,14 @@
 //
 // Usage:
 //
-//	spillbench              # everything
-//	spillbench -figure 5    # just the Figure 5 data
-//	spillbench -table 1     # just Table 1 ratios
-//	spillbench -table 2     # just Table 2 placement times
-//	spillbench -bench gcc   # a single benchmark, detailed
+//	spillbench                    # everything
+//	spillbench -figure 5          # just the Figure 5 data
+//	spillbench -table 1           # just Table 1 ratios
+//	spillbench -table 2           # just Table 2 placement times
+//	spillbench -bench gcc         # a single benchmark, detailed
+//	spillbench -engine tree       # measure on the legacy VM engine
+//	spillbench -json BENCH_vm.json  # benchmark the engines themselves
+//	                                # and record the perf trajectory
 package main
 
 import (
@@ -18,6 +21,7 @@ import (
 	"os"
 
 	"repro/internal/bench"
+	"repro/internal/vm"
 	"repro/internal/workload"
 )
 
@@ -29,7 +33,39 @@ func main() {
 	jobs := flag.Int("j", 0, "worker pool size for sharded evaluation (0 = GOMAXPROCS, 1 = serial)")
 	irgenN := flag.Int("irgen", 0, "append this many random irgen scenario families to the suite")
 	irgenSeed := flag.Uint64("irgen-seed", 1, "first seed of the appended irgen families")
+	engine := flag.String("engine", "bytecode", "VM engine for the measurement runs: bytecode or tree")
+	jsonOut := flag.String("json", "", "instead of the tables: benchmark both VM engines on the placed suite and write the JSON record here (e.g. BENCH_vm.json)")
+	reps := flag.Int("reps", 3, "with -json: VM executions per benchmark per engine")
 	flag.Parse()
+
+	eng, err := vm.ParseEngine(*engine)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "spillbench: %v\n", err)
+		os.Exit(2)
+	}
+
+	if *jsonOut != "" {
+		rec, err := bench.BenchVM(workload.SPECInt2000(), *reps)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "spillbench: %v\n", err)
+			os.Exit(1)
+		}
+		data, err := rec.JSON()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "spillbench: %v\n", err)
+			os.Exit(1)
+		}
+		if err := os.WriteFile(*jsonOut, data, 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "spillbench: %v\n", err)
+			os.Exit(1)
+		}
+		for _, e := range rec.Engines {
+			fmt.Printf("%-10s %8.2fms/run %14.0f instrs/s\n",
+				e.Engine, e.NSPerRun/1e6, e.InstrsPerSec)
+		}
+		fmt.Printf("speedup: %.2fx (recorded in %s)\n", rec.Speedup, *jsonOut)
+		return
+	}
 
 	var entries []bench.Entry
 	for _, p := range workload.SPECInt2000() {
@@ -52,7 +88,7 @@ func main() {
 		entries = filtered
 	}
 
-	results, err := bench.RunEntries(entries, bench.Options{Align: *align, Parallelism: *jobs})
+	results, err := bench.RunEntries(entries, bench.Options{Align: *align, Parallelism: *jobs, Engine: eng})
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "spillbench: %v\n", err)
 		os.Exit(1)

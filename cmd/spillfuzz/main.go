@@ -29,6 +29,7 @@ import (
 	"repro/internal/irtext"
 	"repro/internal/par"
 	"repro/internal/strategy"
+	"repro/internal/vm"
 )
 
 func main() {
@@ -40,7 +41,14 @@ func main() {
 	keep := flag.Int("keep", 5, "minimize and write at most this many failures")
 	emit := flag.Int("emit", 0, "instead of hunting bugs: emit this many minimized oracle-clean sample programs to -out")
 	verbose := flag.Bool("v", false, "log every failing seed as it is found")
+	engine := flag.String("engine", "bytecode", "VM engine for the oracle's runs: bytecode or tree")
 	flag.Parse()
+
+	eng, err := vm.ParseEngine(*engine)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "spillfuzz: %v\n", err)
+		os.Exit(2)
+	}
 
 	cfg := irgen.Default()
 	if *small {
@@ -74,7 +82,7 @@ func main() {
 		prog := irgen.Generate(seed, cfg)
 		// Seeds already fan out across the pool; a nested GOMAXPROCS
 		// allocation pool per check would only oversubscribe.
-		r := irgen.Check(prog, irgen.Options{Args: []int64{int64(seed % 17)}, Parallelism: 1})
+		r := irgen.Check(prog, irgen.Options{Args: []int64{int64(seed % 17)}, Parallelism: 1, Engine: eng})
 		mu.Lock()
 		defer mu.Unlock()
 		checked++

@@ -127,6 +127,13 @@ func Apply(f *ir.Func, sets []*Set) error {
 	}
 
 	f.RenumberBlocks()
+
+	// Exact frame sizing: after insertion the save area is exactly the
+	// highest slot any save/restore references, plus one. A stale,
+	// larger count from an earlier pipeline stage would make every
+	// frame carry dead slots for the rest of the program's life.
+	f.SaveSlots = f.MaxFrameSlot(ir.OpSave, ir.OpRestore) + 1
+
 	return ir.Verify(f)
 }
 
@@ -135,7 +142,7 @@ func sortRegs(rs []ir.Reg) {
 }
 
 // saveSlots assigns a frame save slot to every register appearing in
-// sets and updates f.SaveSlots.
+// sets. Apply recomputes f.SaveSlots exactly after insertion.
 func saveSlots(f *ir.Func, sets []*Set) map[ir.Reg]int {
 	slots := make(map[ir.Reg]int)
 	var regs []ir.Reg
@@ -148,9 +155,6 @@ func saveSlots(f *ir.Func, sets []*Set) map[ir.Reg]int {
 	sortRegs(regs)
 	for i, r := range regs {
 		slots[r] = i
-	}
-	if len(regs) > f.SaveSlots {
-		f.SaveSlots = len(regs)
 	}
 	return slots
 }

@@ -41,6 +41,23 @@ func TestApplyEntryExit(t *testing.T) {
 	}
 }
 
+// TestApplyKeepsSaveSlotsExact: a stale, oversized SaveSlots from an
+// earlier pipeline stage must be shrunk to exactly the slots the
+// placed code references — VM frames are sized from it once per call.
+func TestApplyKeepsSaveSlotsExact(t *testing.T) {
+	fig := workload.NewFigure2()
+	f := fig.Func.Clone()
+	f.UsedCalleeSaved = fig.Func.UsedCalleeSaved
+	f.SaveSlots = 17 // stale
+	sets := core.EntryExit(f)
+	if err := core.Apply(f, sets); err != nil {
+		t.Fatal(err)
+	}
+	if f.SaveSlots != 1 {
+		t.Errorf("SaveSlots = %d after Apply, want exactly 1", f.SaveSlots)
+	}
+}
+
 func TestApplySeedCreatesJumpBlock(t *testing.T) {
 	fig := workload.NewFigure2()
 	f := fig.Func // seed placement computed on the original

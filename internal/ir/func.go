@@ -148,6 +148,23 @@ func (f *Func) ClassifyEdges() {
 	}
 }
 
+// MaxFrameSlot returns the highest frame slot (Imm) any instruction
+// with one of the two opcodes references, or -1 if none occurs. The
+// passes that insert frame traffic use it to keep SpillSlots and
+// SaveSlots exact — the VM sizes fixed, pooled frames from those
+// counts, so they must cover every reference and carry no dead slots.
+func (f *Func) MaxFrameSlot(a, b Op) int {
+	maxSlot := -1
+	for _, blk := range f.Blocks {
+		for _, in := range blk.Instrs {
+			if (in.Op == a || in.Op == b) && int(in.Imm) > maxSlot {
+				maxSlot = int(in.Imm)
+			}
+		}
+	}
+	return maxSlot
+}
+
 // Instrs returns the total static instruction count.
 func (f *Func) Instrs() int {
 	n := 0

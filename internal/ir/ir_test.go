@@ -180,6 +180,49 @@ func TestVerifyCatchesMissingTerminator(t *testing.T) {
 	}
 }
 
+func TestVerifyCatchesFrameSlotOverflow(t *testing.T) {
+	cases := []struct {
+		name  string
+		in    Instr
+		grow  func(f *Func)
+		wants string
+	}{
+		{"spill.ld", Instr{Op: OpSpillLoad, Dst: Virt(0), Src1: NoReg, Src2: NoReg, Imm: 2}, func(f *Func) { f.SpillSlots = 3 }, "spill slot"},
+		{"spill.st", Instr{Op: OpSpillStore, Dst: NoReg, Src1: Virt(0), Src2: NoReg, Imm: 0}, func(f *Func) { f.SpillSlots = 1 }, "spill slot"},
+		{"save", Instr{Op: OpSave, Dst: NoReg, Src1: Phys(11), Src2: NoReg, Imm: 1}, func(f *Func) { f.SaveSlots = 2 }, "save slot"},
+		{"restore", Instr{Op: OpRestore, Dst: Phys(11), Src1: NoReg, Src2: NoReg, Imm: 4}, func(f *Func) { f.SaveSlots = 5 }, "save slot"},
+	}
+	for _, c := range cases {
+		bu := NewBuilder("f", 0)
+		bu.Block("entry")
+		in := c.in
+		bu.Emit(&in)
+		bu.Ret(NoReg)
+		f := bu.Finish()
+		// Undeclared frame slots must be flagged...
+		if err := Verify(f); err == nil || !strings.Contains(err.Error(), c.wants) {
+			t.Errorf("%s: Verify should catch slot outside frame, got %v", c.name, err)
+		}
+		// ...and a frame that covers them must pass.
+		c.grow(f)
+		if err := Verify(f); err != nil {
+			t.Errorf("%s: Verify rejects in-bounds slot: %v", c.name, err)
+		}
+	}
+}
+
+func TestVerifyCatchesNegativeFrameSlot(t *testing.T) {
+	bu := NewBuilder("f", 0)
+	bu.Block("entry")
+	bu.Emit(&Instr{Op: OpSpillLoad, Dst: Virt(0), Src1: NoReg, Src2: NoReg, Imm: -1})
+	bu.Ret(NoReg)
+	f := bu.Finish()
+	f.SpillSlots = 4
+	if err := Verify(f); err == nil || !strings.Contains(err.Error(), "spill slot") {
+		t.Errorf("Verify should catch negative spill slot, got %v", err)
+	}
+}
+
 func TestCloneIsDeep(t *testing.T) {
 	f := diamond(t)
 	g := f.Clone()

@@ -112,6 +112,11 @@ func (op Op) String() string {
 	return "op?"
 }
 
+// Valid reports whether op is one of the defined opcodes. The VM's
+// bytecode compiler uses it to turn undefined opcode bytes into traps
+// rather than misdecoding them.
+func (op Op) Valid() bool { return op < numOps }
+
 // IsTerminator reports whether the opcode ends a basic block.
 func (op Op) IsTerminator() bool {
 	return op == OpRet || op == OpBr || op == OpJmp

@@ -17,6 +17,8 @@ import (
 //   - the entry block exists and has no predecessors
 //   - every block is reachable from the entry
 //   - edge weights are non-negative
+//   - every spill/save slot reference fits the declared frame
+//     (SpillSlots/SaveSlots), so frames never need to grow mid-run
 func Verify(f *Func) error {
 	var errs []error
 	fail := func(format string, args ...any) {
@@ -52,6 +54,21 @@ func Verify(f *Func) error {
 		for j, in := range b.Instrs {
 			if in.Op.IsTerminator() && j != len(b.Instrs)-1 {
 				fail("block %s has terminator %v at non-final position %d", b.Name, in.Op, j)
+			}
+			// Frame slot discipline: the VM sizes frames from the
+			// declared slot counts once per call, so every reference
+			// must fit.
+			switch in.Op {
+			case OpSpillLoad, OpSpillStore:
+				if in.Imm < 0 || in.Imm >= int64(f.SpillSlots) {
+					fail("block %s: %v references spill slot %d outside the declared frame (SpillSlots=%d)",
+						b.Name, in.Op, in.Imm, f.SpillSlots)
+				}
+			case OpSave, OpRestore:
+				if in.Imm < 0 || in.Imm >= int64(f.SaveSlots) {
+					fail("block %s: %v references save slot %d outside the declared frame (SaveSlots=%d)",
+						b.Name, in.Op, in.Imm, f.SaveSlots)
+				}
 			}
 		}
 		t := b.Terminator()

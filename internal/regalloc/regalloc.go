@@ -94,6 +94,7 @@ func Allocate(f *ir.Func, m *machine.Desc) (*Result, error) {
 		if len(spills) == 0 {
 			rewrite(f, colors)
 			res.UsedCalleeSaved = recordUsedCalleeSaved(f, m)
+			exactSpillSlots(f)
 			return res, nil
 		}
 		for _, v := range spills {
@@ -425,6 +426,13 @@ func dedupRegs(rs []ir.Reg) []ir.Reg {
 		}
 	}
 	return out
+}
+
+// exactSpillSlots resizes f.SpillSlots to exactly cover the spill
+// slots the final code references, so the VM's fixed-size frames never
+// carry dead slots (and can never need to grow mid-run).
+func exactSpillSlots(f *ir.Func) {
+	f.SpillSlots = f.MaxFrameSlot(ir.OpSpillLoad, ir.OpSpillStore) + 1
 }
 
 // insertSpillCode assigns v a stack slot and rewrites every use and

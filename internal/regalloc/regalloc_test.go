@@ -155,6 +155,19 @@ func TestAllocateForcesSpills(t *testing.T) {
 	if f.SpillSlots == 0 {
 		t.Fatal("no spill slots assigned")
 	}
+	// Exact frame sizing: SpillSlots must cover exactly the slots the
+	// final code references (VM frames are sized from it once per call).
+	maxSlot := -1
+	for _, b := range f.Blocks {
+		for _, in := range b.Instrs {
+			if (in.Op == ir.OpSpillLoad || in.Op == ir.OpSpillStore) && int(in.Imm) > maxSlot {
+				maxSlot = int(in.Imm)
+			}
+		}
+	}
+	if f.SpillSlots != maxSlot+1 {
+		t.Fatalf("SpillSlots = %d, want exactly %d (max referenced slot + 1)", f.SpillSlots, maxSlot+1)
+	}
 	spillCount := 0
 	for _, b := range f.Blocks {
 		for _, in := range b.Instrs {

@@ -1,0 +1,375 @@
+package vm
+
+// bytecode.go lowers an *ir.Program into the flat, pre-decoded form
+// the default engine executes (exec.go). Each function is compiled
+// exactly once, at the VM's first Run:
+//
+//   - every instruction becomes one fixed-size binst with its operand
+//     registers as plain indices (phys < ir.VirtBase, virt rebased
+//     above it) and its overhead class (spill load/store, save,
+//     restore, jump-block jump) precomputed into a byte, so the
+//     dispatch loop never re-tests flag bits;
+//   - branch targets are resolved to instruction indices, and the CFG
+//     edge each branch traverses is resolved to a dense edge index, so
+//     edge profiling increments a slice instead of a map;
+//   - callees are resolved to dense function indices, so calls never
+//     look up the program's function map;
+//   - spill and save slots are rebased to absolute offsets in a single
+//     flat frame array sized exactly (virtuals, then spill slots, then
+//     save slots), so frames come from a sync.Pool and never grow
+//     mid-run.
+//
+// Malformed programs the tree interpreter only rejects when execution
+// reaches the bad spot (undefined callees, unknown opcodes, blocks
+// without terminators) compile into trap instructions that raise the
+// identical error if — and only if — they execute.
+
+import (
+	"sync"
+
+	"repro/internal/ir"
+)
+
+// Trap opcodes, outside the ir.Op space. They reproduce the tree
+// interpreter's runtime errors for malformed programs lazily.
+const (
+	bcBadOp   ir.Op = 0xFD // unknown opcode (original op byte in .a)
+	bcFellOff ir.Op = 0xFE // block without terminator
+)
+
+// Fused opcodes: adjacent instruction pairs combined into a single
+// dispatch at compile time. Safe because branch targets are always
+// block heads — control never enters the middle of a pair — and the
+// executor still performs (and accounts) both instructions' effects,
+// including halting between them when the step budget ends there.
+const (
+	// Compare feeding the block's conditional branch:
+	// dst/a/b from the compare, t1/t2/imm (targets, edges) from the br.
+	bcCmpEQBr ir.Op = 0xC0
+	bcCmpNEBr ir.Op = 0xC1
+	bcCmpLTBr ir.Op = 0xC2
+	bcCmpLEBr ir.Op = 0xC3
+	bcCmpGTBr ir.Op = 0xC4
+	bcCmpGEBr ir.Op = 0xC5
+	// Constant materialized straight into a binary operation:
+	// b = const register, imm = constant, dst/a from the binop,
+	// t1 = inner opcode, t2 = operand form (0: a•c, 1: c•a, 2: c•c).
+	bcConstBin ir.Op = 0xC8
+)
+
+// fusedCmpBr maps a compare opcode to its fused compare-branch form.
+func fusedCmpBr(op ir.Op) ir.Op {
+	return bcCmpEQBr + ir.Op(op-ir.OpCmpEQ)
+}
+
+// Overhead classes, precomputed from (Op, Flags) with exactly the
+// tree interpreter's attribution rules.
+const (
+	ovNone uint8 = iota
+	ovSpillLoad
+	ovSpillStore
+	ovSave
+	ovRestore
+	ovJumpBlock
+)
+
+func ovClass(in *ir.Instr) uint8 {
+	switch {
+	case in.Flags&ir.FlagSpill != 0 && in.Op == ir.OpSpillLoad:
+		return ovSpillLoad
+	case in.Flags&ir.FlagSpill != 0 && in.Op == ir.OpSpillStore:
+		return ovSpillStore
+	case in.Flags&ir.FlagSaveRestore != 0 && in.Op == ir.OpSave:
+		return ovSave
+	case in.Flags&ir.FlagSaveRestore != 0 && in.Op == ir.OpRestore:
+		return ovRestore
+	case in.Flags&ir.FlagJumpBlock != 0:
+		return ovJumpBlock
+	}
+	return ovNone
+}
+
+// binst is one pre-decoded instruction. Registers are stored as plain
+// indices: [0, ir.VirtBase) addresses the global physical register
+// file, values >= ir.VirtBase address the frame (rebased by VirtBase),
+// and -1 means absent. Meaning of the remaining fields by op:
+//
+//	const            imm = constant
+//	load/store       imm = address offset
+//	spill.*/save/restore  imm = absolute frame offset (pre-rebased)
+//	call             imm = index into the function's call table
+//	br               t1/t2 = then/else instruction indices,
+//	                 imm = packed then/else dense edge indices
+//	jmp              t1 = target instruction index, imm = edge index
+type binst struct {
+	op  ir.Op
+	ov  uint8
+	dst int32
+	a   int32
+	b   int32
+	t1  int32
+	t2  int32
+	imm int64
+}
+
+// packEdges packs two dense edge indices (-1 = edge absent) into an
+// imm for OpBr: then-edge in the high half, else-edge in the low half.
+func packEdges(e1, e2 int32) int64 {
+	return int64(uint64(uint32(e1))<<32 | uint64(uint32(e2)))
+}
+
+// bcCall is one call site's side data.
+type bcCall struct {
+	callee int32  // dense function index, -1 if undefined
+	name   string // callee name, for the undefined-function error
+	args   []int32
+}
+
+// bcFunc is one compiled function.
+type bcFunc struct {
+	name   string
+	ins    []binst
+	entry  int32   // instruction index of the entry block
+	params []int32 // parameter register indices
+	calls  []bcCall
+
+	// Frames are single flat arrays: virtuals at [0, numVirt), spill
+	// slots at [numVirt, saveBase), save slots at [saveBase, frameLen).
+	frameLen int
+	pool     sync.Pool // of *[]int64, each exactly frameLen long
+
+	// blockOf/blockName attribute an instruction index back to its
+	// basic block, for error messages only.
+	blockOf   []int32
+	blockName []string
+}
+
+// block returns the name of the block containing instruction pc.
+func (fc *bcFunc) block(pc int32) string {
+	if int(pc) < len(fc.blockOf) {
+		return fc.blockName[fc.blockOf[pc]]
+	}
+	return "?"
+}
+
+// bcProgram is a compiled program.
+type bcProgram struct {
+	funcs []*bcFunc
+	main  int32      // dense index of the main function, -1 if absent
+	edges []*ir.Edge // dense edge index -> CFG edge, for profiling
+}
+
+// compileProgram lowers every function. It never fails: malformed
+// constructs become traps that error at execution time, matching the
+// tree interpreter's lazy error discipline.
+func compileProgram(p *ir.Program) *bcProgram {
+	funcs := p.FuncsInOrder()
+	c := &bcProgram{main: -1}
+	index := make(map[string]int32, len(funcs))
+	for i, f := range funcs {
+		index[f.Name] = int32(i)
+	}
+	if mi, ok := index[p.Main]; ok {
+		c.main = mi
+	}
+	for _, f := range funcs {
+		c.funcs = append(c.funcs, c.compileFunc(f, index))
+	}
+	return c
+}
+
+func (c *bcProgram) compileFunc(f *ir.Func, index map[string]int32) *bcFunc {
+	fc := &bcFunc{name: f.Name}
+	// One extra slot per block for the fell-off-the-end trap.
+	cap := f.Instrs() + len(f.Blocks)
+	fc.ins = make([]binst, 0, cap)
+	fc.blockOf = make([]int32, 0, cap)
+	for _, r := range f.Params {
+		fc.params = append(fc.params, int32(r))
+	}
+
+	// Size the frame exactly. Virtual space covers only the registers
+	// the code actually references — after register allocation every
+	// operand is physical and the virtual area collapses to nothing,
+	// however high f.NumVirt grew during compilation. The declared
+	// slot counts are trusted but grown over any out-of-range slot
+	// reference (hand-built programs may reference slots they never
+	// declared; the tree interpreter grew frames lazily for those), so
+	// frames never grow mid-run.
+	virtSize := 0
+	track := func(r ir.Reg) {
+		if r.IsVirt() && r.VirtNum()+1 > virtSize {
+			virtSize = r.VirtNum() + 1
+		}
+	}
+	for _, r := range f.Params {
+		track(r)
+	}
+	spillSlots, saveSlots := f.SpillSlots, f.SaveSlots
+	for _, b := range f.Blocks {
+		for _, in := range b.Instrs {
+			track(in.Dst)
+			track(in.Src1)
+			track(in.Src2)
+			for _, a := range in.Args {
+				track(a)
+			}
+			switch in.Op {
+			case ir.OpSpillLoad, ir.OpSpillStore:
+				if n := int(in.Imm) + 1; n > spillSlots {
+					spillSlots = n
+				}
+			case ir.OpSave, ir.OpRestore:
+				if n := int(in.Imm) + 1; n > saveSlots {
+					saveSlots = n
+				}
+			}
+		}
+	}
+	spillBase := int64(virtSize)
+	saveBase := spillBase + int64(spillSlots)
+	fc.frameLen = virtSize + spillSlots + saveSlots
+	frameLen := fc.frameLen
+	fc.pool.New = func() any {
+		s := make([]int64, frameLen)
+		return &s
+	}
+
+	// Emit blocks in layout order, recording starts for target
+	// resolution. Branches are patched after all starts are known.
+	start := make(map[*ir.Block]int32, len(f.Blocks))
+	type patch struct {
+		pc int32
+		in *ir.Instr
+		b  *ir.Block
+	}
+	var patches []patch
+	for _, b := range f.Blocks {
+		start[b] = int32(len(fc.ins))
+		bi := int32(len(fc.blockName))
+		fc.blockName = append(fc.blockName, b.Name)
+		emit := func(d binst) {
+			fc.ins = append(fc.ins, d)
+			fc.blockOf = append(fc.blockOf, bi)
+		}
+		for i := 0; i < len(b.Instrs); i++ {
+			in := b.Instrs[i]
+			// Pair fusion: combine an instruction with its successor
+			// into one dispatch when both are plain (no overhead
+			// class) and the pair matches a fused form.
+			if ovClass(in) == ovNone && i+1 < len(b.Instrs) {
+				next := b.Instrs[i+1]
+				if ovClass(next) == ovNone && in.Dst.IsValid() {
+					if in.Op.IsCompare() && next.Op == ir.OpBr && next.Src1 == in.Dst {
+						patches = append(patches, patch{pc: int32(len(fc.ins)), in: next, b: b})
+						emit(binst{op: fusedCmpBr(in.Op),
+							dst: int32(in.Dst), a: int32(in.Src1), b: int32(in.Src2)})
+						i++
+						continue
+					}
+					if in.Op == ir.OpConst && next.Op.IsBinary() && next.Dst.IsValid() {
+						form, other := -1, ir.NoReg
+						switch {
+						case next.Src1 == in.Dst && next.Src2 == in.Dst:
+							form = 2
+						case next.Src2 == in.Dst:
+							form, other = 0, next.Src1
+						case next.Src1 == in.Dst:
+							form, other = 1, next.Src2
+						}
+						if form >= 0 {
+							emit(binst{op: bcConstBin,
+								dst: int32(next.Dst), a: int32(other), b: int32(in.Dst),
+								imm: in.Imm, t1: int32(next.Op), t2: int32(form)})
+							i++
+							continue
+						}
+					}
+				}
+			}
+			d := binst{op: in.Op, ov: ovClass(in),
+				dst: int32(in.Dst), a: int32(in.Src1), b: int32(in.Src2),
+				imm: in.Imm, t1: -1, t2: -1}
+			switch {
+			case !in.Op.Valid():
+				emit(binst{op: bcBadOp, a: int32(in.Op)})
+				continue
+			case in.Op == ir.OpSpillLoad || in.Op == ir.OpSpillStore:
+				d.imm = spillBase + in.Imm
+				if in.Imm < 0 {
+					d.imm = -1 // panics on execution, like the tree engine
+				}
+			case in.Op == ir.OpSave || in.Op == ir.OpRestore:
+				d.imm = saveBase + in.Imm
+				if in.Imm < 0 {
+					d.imm = -1
+				}
+			case in.Op == ir.OpCall:
+				args := make([]int32, len(in.Args))
+				for i, a := range in.Args {
+					args[i] = int32(a)
+				}
+				callee := int32(-1)
+				if ci, ok := index[in.Callee]; ok {
+					callee = ci
+				}
+				d.imm = int64(len(fc.calls))
+				fc.calls = append(fc.calls, bcCall{callee: callee, name: in.Callee, args: args})
+			case in.Op == ir.OpBr || in.Op == ir.OpJmp:
+				patches = append(patches, patch{pc: int32(len(fc.ins)), in: in, b: b})
+			}
+			emit(d)
+		}
+		// A block without a terminator runs off its end; the trap
+		// reproduces the tree interpreter's error without counting an
+		// extra executed instruction.
+		emit(binst{op: bcFellOff})
+	}
+	if len(fc.ins) == 0 || f.Entry == nil {
+		// No entry to run: executing the function immediately errors.
+		fc.ins = append(fc.ins, binst{op: bcFellOff})
+		fc.blockOf = append(fc.blockOf, int32(len(fc.blockName)))
+		fc.blockName = append(fc.blockName, "?")
+		fc.entry = int32(len(fc.ins)) - 1
+	} else {
+		fc.entry = start[f.Entry]
+	}
+
+	for _, pt := range patches {
+		d := &fc.ins[pt.pc]
+		switch pt.in.Op {
+		case ir.OpBr:
+			t1, ok1 := start[pt.in.Then]
+			t2, ok2 := start[pt.in.Else]
+			if !ok1 || !ok2 {
+				// Target outside the function: the tree interpreter
+				// crashes on this; trap with an error instead.
+				*d = binst{op: bcBadOp, a: int32(pt.in.Op)}
+				continue
+			}
+			d.t1, d.t2 = t1, t2
+			d.imm = packEdges(c.edgeIndex(pt.b.SuccEdge(pt.in.Then)),
+				c.edgeIndex(pt.b.SuccEdge(pt.in.Else)))
+		case ir.OpJmp:
+			t1, ok := start[pt.in.Then]
+			if !ok {
+				*d = binst{op: bcBadOp, a: int32(pt.in.Op)}
+				continue
+			}
+			d.t1 = t1
+			d.imm = int64(c.edgeIndex(pt.b.SuccEdge(pt.in.Then)))
+		}
+	}
+	return fc
+}
+
+// edgeIndex assigns e a dense index shared across the whole compiled
+// program, or -1 for a branch with no matching CFG edge (the tree
+// interpreter silently skips counting those).
+func (c *bcProgram) edgeIndex(e *ir.Edge) int32 {
+	if e == nil {
+		return -1
+	}
+	c.edges = append(c.edges, e)
+	return int32(len(c.edges)) - 1
+}

@@ -1,0 +1,445 @@
+package vm
+
+// exec.go is the bytecode engine's dispatch loop. The heavy lifting
+// happened at compile time (bytecode.go); here every instruction is a
+// fixed-size struct fetched by index, every register access is a slice
+// index, calls are dense-index lookups with pooled exactly-sized
+// frames, and counters are local variables or dense slices flushed to
+// the map-based Stats/EdgeCount API only at the Run boundary.
+
+import (
+	"fmt"
+
+	"repro/internal/ir"
+)
+
+func (v *VM) runBytecode(args []int64) (int64, error) {
+	c := v.code
+	if c.main < 0 {
+		return 0, fmt.Errorf("vm: main function %q not found", v.prog.Main)
+	}
+	if v.callDense == nil {
+		v.callDense = make([]int64, len(c.funcs))
+	}
+	if v.cfg.CollectEdges && v.edgeDense == nil {
+		v.edgeDense = make([]int64, len(c.edges))
+	}
+	val, err := v.exec(c.main, args, 0)
+	v.flushDense()
+	return val, err
+}
+
+// flushDense materializes the dense call and edge counters into the
+// public map-based Stats.Calls and EdgeCount, preserving the legacy
+// engine's observable shape (only invoked functions and traversed
+// edges appear as keys), then resets them so repeated Runs accumulate.
+func (v *VM) flushDense() {
+	c := v.code
+	for i, n := range v.callDense {
+		if n != 0 {
+			v.Stats.Calls[c.funcs[i].name] += n
+			v.callDense[i] = 0
+		}
+	}
+	if v.edgeDense != nil {
+		for i, n := range v.edgeDense {
+			if n != 0 {
+				v.EdgeCount[c.edges[i]] += n
+				v.edgeDense[i] = 0
+			}
+		}
+	}
+}
+
+// get/set address the unified register space: indices below
+// ir.VirtBase hit the global physical register file, the rest hit the
+// current frame (virtuals, then spill slots, then save slots). The
+// unsigned comparison both routes negative (absent) registers to the
+// frame path — where they panic, as the tree engine does — and proves
+// the physical index in-bounds, eliding the bounds check.
+func (v *VM) get(fr []int64, r int32) int64 {
+	if u := uint32(r); u < uint32(ir.VirtBase) {
+		return v.phys[u]
+	}
+	return fr[r-int32(ir.VirtBase)]
+}
+
+func (v *VM) set(fr []int64, r int32, val int64) {
+	if u := uint32(r); u < uint32(ir.VirtBase) {
+		v.phys[u] = val
+		return
+	}
+	fr[r-int32(ir.VirtBase)] = val
+}
+
+// flushSeg folds a dispatch segment's locally accumulated counters
+// into the VM. Taking the counters by value (rather than closing over
+// them) keeps them in registers inside the dispatch loop.
+func (v *VM) flushSeg(n, loads, stores int64) {
+	v.steps += n
+	v.Stats.Instrs += n
+	v.Stats.Loads += loads
+	v.Stats.Stores += stores
+}
+
+// leaveFrame releases an invocation's pooled frame and its convention
+// snapshot segment; every exec exit path runs it.
+func (v *VM) leaveFrame(fc *bcFunc, frp *[]int64, snapBase int) {
+	fc.pool.Put(frp)
+	if snapBase >= 0 {
+		v.snap = v.snap[:snapBase]
+	}
+}
+
+// exec runs one function invocation to completion.
+//
+// Step accounting is batched: instructions executed since the last
+// flush are counted in a local, compared against a precomputed budget,
+// and folded into v.steps/v.Stats only at calls, returns, and errors.
+// The fold points are chosen so every observable count — including
+// which exact instruction exceeds the step limit, and the tree
+// engine's quirk of counting the faulting instruction in steps but not
+// in Stats.Instrs — matches the legacy interpreter.
+func (v *VM) exec(fi int32, args []int64, depth int) (int64, error) {
+	c := v.code
+	fc := c.funcs[fi]
+	if depth > maxCallDepth {
+		return 0, fmt.Errorf("vm: call depth exceeded in %s", fc.name)
+	}
+	if len(args) != len(fc.params) {
+		return 0, fmt.Errorf("vm: %s called with %d args, want %d", fc.name, len(args), len(fc.params))
+	}
+	v.callDense[fi]++
+
+	frp := fc.pool.Get().(*[]int64)
+	fr := *frp
+	clear(fr)
+	for i, p := range fc.params {
+		v.set(fr, p, args[i])
+	}
+
+	// Convention checking: snapshot the callee-saved registers — a
+	// contiguous range of the physical file — into the VM's snapshot
+	// stack (one copied segment per live call, no allocation).
+	snapBase := -1
+	if v.csPhys != nil {
+		snapBase = len(v.snap)
+		v.snap = append(v.snap, v.phys[v.csFrom:v.csTo]...)
+	}
+
+	ins := fc.ins
+	edges := v.edgeDense
+	heap := v.heap
+	pc := int(fc.entry)
+
+	var n, loads, stores int64 // flushed at calls, returns, and errors
+	budget := v.cfg.MaxSteps - v.steps
+
+	for {
+		in := &ins[pc]
+		n++
+		if n > budget {
+			// The fell-off-the-end trap is synthetic — the tree engine
+			// raises that error without consuming a step, so at an
+			// exact budget boundary it must still win over the halt.
+			if in.op == bcFellOff {
+				v.flushSeg(n-1, loads, stores)
+				v.leaveFrame(fc, frp, snapBase)
+				return 0, fmt.Errorf("vm: %s: block %s fell off the end", fc.name, fc.block(int32(pc)))
+			}
+			// The halting instruction counts toward steps but was never
+			// executed, so it stays out of Stats.Instrs.
+			v.flushSeg(n, loads, stores)
+			v.Stats.Instrs--
+			v.leaveFrame(fc, frp, snapBase)
+			return 0, haltErr(fc.name, fc.block(int32(pc)))
+		}
+		if in.ov != ovNone {
+			switch in.ov {
+			case ovSpillLoad:
+				v.Stats.SpillLoads++
+			case ovSpillStore:
+				v.Stats.SpillStores++
+			case ovSave:
+				v.Stats.Saves++
+			case ovRestore:
+				v.Stats.Restores++
+			case ovJumpBlock:
+				v.Stats.JumpBlockJmps++
+			}
+		}
+
+		switch in.op {
+		case ir.OpNop:
+		case ir.OpConst:
+			v.set(fr, in.dst, in.imm)
+		case ir.OpMov:
+			v.set(fr, in.dst, v.get(fr, in.a))
+		case ir.OpAdd:
+			v.set(fr, in.dst, v.get(fr, in.a)+v.get(fr, in.b))
+		case ir.OpSub:
+			v.set(fr, in.dst, v.get(fr, in.a)-v.get(fr, in.b))
+		case ir.OpMul:
+			v.set(fr, in.dst, v.get(fr, in.a)*v.get(fr, in.b))
+		case ir.OpDiv:
+			d := v.get(fr, in.b)
+			if d == 0 {
+				v.set(fr, in.dst, 0)
+			} else {
+				v.set(fr, in.dst, v.get(fr, in.a)/d)
+			}
+		case ir.OpRem:
+			d := v.get(fr, in.b)
+			if d == 0 {
+				v.set(fr, in.dst, 0)
+			} else {
+				v.set(fr, in.dst, v.get(fr, in.a)%d)
+			}
+		case ir.OpAnd:
+			v.set(fr, in.dst, v.get(fr, in.a)&v.get(fr, in.b))
+		case ir.OpOr:
+			v.set(fr, in.dst, v.get(fr, in.a)|v.get(fr, in.b))
+		case ir.OpXor:
+			v.set(fr, in.dst, v.get(fr, in.a)^v.get(fr, in.b))
+		case ir.OpShl:
+			v.set(fr, in.dst, v.get(fr, in.a)<<uint(v.get(fr, in.b)&63))
+		case ir.OpShr:
+			v.set(fr, in.dst, v.get(fr, in.a)>>uint(v.get(fr, in.b)&63))
+		case ir.OpNeg:
+			v.set(fr, in.dst, -v.get(fr, in.a))
+		case ir.OpNot:
+			v.set(fr, in.dst, ^v.get(fr, in.a))
+		case ir.OpCmpEQ:
+			v.set(fr, in.dst, b2i(v.get(fr, in.a) == v.get(fr, in.b)))
+		case ir.OpCmpNE:
+			v.set(fr, in.dst, b2i(v.get(fr, in.a) != v.get(fr, in.b)))
+		case ir.OpCmpLT:
+			v.set(fr, in.dst, b2i(v.get(fr, in.a) < v.get(fr, in.b)))
+		case ir.OpCmpLE:
+			v.set(fr, in.dst, b2i(v.get(fr, in.a) <= v.get(fr, in.b)))
+		case ir.OpCmpGT:
+			v.set(fr, in.dst, b2i(v.get(fr, in.a) > v.get(fr, in.b)))
+		case ir.OpCmpGE:
+			v.set(fr, in.dst, b2i(v.get(fr, in.a) >= v.get(fr, in.b)))
+		case ir.OpLoad:
+			loads++
+			addr := v.get(fr, in.a) + in.imm
+			if addr < 0 || addr >= int64(len(heap)) {
+				v.flushSeg(n, loads, stores)
+				v.leaveFrame(fc, frp, snapBase)
+				return 0, fmt.Errorf("vm: %s: load out of bounds at %d", fc.name, addr)
+			}
+			v.set(fr, in.dst, heap[addr])
+		case ir.OpStore:
+			stores++
+			addr := v.get(fr, in.a) + in.imm
+			if addr < 0 || addr >= int64(len(heap)) {
+				v.flushSeg(n, loads, stores)
+				v.leaveFrame(fc, frp, snapBase)
+				return 0, fmt.Errorf("vm: %s: store out of bounds at %d", fc.name, addr)
+			}
+			heap[addr] = v.get(fr, in.b)
+		case ir.OpSpillLoad:
+			loads++
+			v.set(fr, in.dst, fr[in.imm])
+		case ir.OpSpillStore:
+			stores++
+			fr[in.imm] = v.get(fr, in.a)
+		case ir.OpSave:
+			stores++
+			fr[in.imm] = v.get(fr, in.a)
+		case ir.OpRestore:
+			loads++
+			v.set(fr, in.dst, fr[in.imm])
+		case ir.OpCall:
+			cs := &fc.calls[in.imm]
+			if cs.callee < 0 {
+				v.flushSeg(n, loads, stores)
+				v.leaveFrame(fc, frp, snapBase)
+				return 0, fmt.Errorf("vm: %s calls undefined %q", fc.name, cs.name)
+			}
+			// Evaluate arguments onto the VM's argument stack (one
+			// segment per live call) before any parameter is written:
+			// a callee parameter may alias a physical register a later
+			// argument reads.
+			ab := len(v.argScratch)
+			for _, a := range cs.args {
+				v.argScratch = append(v.argScratch, v.get(fr, a))
+			}
+			v.flushSeg(n, loads, stores)
+			n, loads, stores = 0, 0, 0
+			r, err := v.exec(cs.callee, v.argScratch[ab:], depth+1)
+			v.argScratch = v.argScratch[:ab]
+			if err != nil {
+				v.leaveFrame(fc, frp, snapBase)
+				return 0, err
+			}
+			budget = v.cfg.MaxSteps - v.steps
+			if in.dst >= 0 {
+				v.set(fr, in.dst, r)
+			}
+		case ir.OpRet:
+			var rv int64
+			if in.a >= 0 {
+				rv = v.get(fr, in.a)
+			}
+			v.flushSeg(n, loads, stores)
+			if snapBase >= 0 {
+				prev := v.snap[snapBase:]
+				cur := v.phys[v.csFrom:v.csTo]
+				for i := range cur {
+					if cur[i] != prev[i] {
+						err := fmt.Errorf("vm: %s violated callee-saved convention: %v changed from %d to %d",
+							fc.name, v.csRegs[i], prev[i], cur[i])
+						v.leaveFrame(fc, frp, snapBase)
+						return 0, err
+					}
+				}
+			}
+			v.leaveFrame(fc, frp, snapBase)
+			return rv, nil
+		case ir.OpBr:
+			if v.get(fr, in.a) != 0 {
+				if edges != nil {
+					if e := int32(uint32(in.imm >> 32)); e >= 0 {
+						edges[e]++
+					}
+				}
+				pc = int(in.t1)
+				continue
+			}
+			if edges != nil {
+				if e := int32(uint32(in.imm)); e >= 0 {
+					edges[e]++
+				}
+			}
+			pc = int(in.t2)
+			continue
+		case ir.OpJmp:
+			if edges != nil {
+				if e := int32(in.imm); e >= 0 {
+					edges[e]++
+				}
+			}
+			pc = int(in.t1)
+			continue
+		case bcCmpEQBr, bcCmpNEBr, bcCmpLTBr, bcCmpLEBr, bcCmpGTBr, bcCmpGEBr:
+			// Fused compare + conditional branch: two accounted steps,
+			// one dispatch. The compare's effect lands before the
+			// branch's budget check, so a budget that ends between the
+			// two halts exactly where the tree engine would.
+			x, y := v.get(fr, in.a), v.get(fr, in.b)
+			var val int64
+			switch in.op {
+			case bcCmpEQBr:
+				val = b2i(x == y)
+			case bcCmpNEBr:
+				val = b2i(x != y)
+			case bcCmpLTBr:
+				val = b2i(x < y)
+			case bcCmpLEBr:
+				val = b2i(x <= y)
+			case bcCmpGTBr:
+				val = b2i(x > y)
+			default:
+				val = b2i(x >= y)
+			}
+			v.set(fr, in.dst, val)
+			n++
+			if n > budget {
+				v.flushSeg(n, loads, stores)
+				v.Stats.Instrs--
+				v.leaveFrame(fc, frp, snapBase)
+				return 0, haltErr(fc.name, fc.block(int32(pc)))
+			}
+			if val != 0 {
+				if edges != nil {
+					if e := int32(uint32(in.imm >> 32)); e >= 0 {
+						edges[e]++
+					}
+				}
+				pc = int(in.t1)
+				continue
+			}
+			if edges != nil {
+				if e := int32(uint32(in.imm)); e >= 0 {
+					edges[e]++
+				}
+			}
+			pc = int(in.t2)
+			continue
+		case bcConstBin:
+			// Fused constant + binary op: the constant register is
+			// written first, then the operation consumes the immediate
+			// directly.
+			v.set(fr, in.b, in.imm)
+			n++
+			if n > budget {
+				v.flushSeg(n, loads, stores)
+				v.Stats.Instrs--
+				v.leaveFrame(fc, frp, snapBase)
+				return 0, haltErr(fc.name, fc.block(int32(pc)))
+			}
+			var x, y int64
+			switch in.t2 {
+			case 0:
+				x, y = v.get(fr, in.a), in.imm
+			case 1:
+				x, y = in.imm, v.get(fr, in.a)
+			default:
+				x, y = in.imm, in.imm
+			}
+			var res int64
+			switch ir.Op(in.t1) {
+			case ir.OpAdd:
+				res = x + y
+			case ir.OpSub:
+				res = x - y
+			case ir.OpMul:
+				res = x * y
+			case ir.OpDiv:
+				if y != 0 {
+					res = x / y
+				}
+			case ir.OpRem:
+				if y != 0 {
+					res = x % y
+				}
+			case ir.OpAnd:
+				res = x & y
+			case ir.OpOr:
+				res = x | y
+			case ir.OpXor:
+				res = x ^ y
+			case ir.OpShl:
+				res = x << uint(y&63)
+			case ir.OpShr:
+				res = x >> uint(y&63)
+			case ir.OpCmpEQ:
+				res = b2i(x == y)
+			case ir.OpCmpNE:
+				res = b2i(x != y)
+			case ir.OpCmpLT:
+				res = b2i(x < y)
+			case ir.OpCmpLE:
+				res = b2i(x <= y)
+			case ir.OpCmpGT:
+				res = b2i(x > y)
+			case ir.OpCmpGE:
+				res = b2i(x >= y)
+			}
+			v.set(fr, in.dst, res)
+		case bcFellOff:
+			// Falling off a block's end is an error, not an executed
+			// instruction: take it back out of the segment.
+			v.flushSeg(n-1, loads, stores)
+			v.leaveFrame(fc, frp, snapBase)
+			return 0, fmt.Errorf("vm: %s: block %s fell off the end", fc.name, fc.block(int32(pc)))
+		default: // bcBadOp and anything unexpected
+			v.flushSeg(n, loads, stores)
+			v.leaveFrame(fc, frp, snapBase)
+			return 0, fmt.Errorf("vm: %s: unknown opcode %v", fc.name, ir.Op(in.a))
+		}
+		pc++
+	}
+}

@@ -1,9 +1,22 @@
-// Package vm interprets IR programs. It serves two roles in the
+// Package vm executes IR programs. It serves two roles in the
 // reproduction: collecting edge profiles by execution (the paper's
 // profile-guided inputs), and measuring true dynamic spill overhead of
 // post-allocation code while enforcing the callee-saved register
 // convention — a placement bug becomes a hard execution error, not a
 // silently wrong count.
+//
+// Two engines implement the same observable semantics:
+//
+//   - EngineBytecode (the default) lowers each function once into a
+//     flat, pre-decoded instruction array — branch targets resolved to
+//     instruction indices, overhead classes precomputed, callees and
+//     profiled edges resolved to dense indices — and executes it in a
+//     tight dispatch loop with pooled, exactly-sized frames and dense
+//     counters (see bytecode.go, exec.go).
+//   - EngineTree is the original tree-walking interpreter over
+//     *ir.Block pointers (tree.go). It is kept as the differential
+//     reference; the parity tests prove both engines agree exactly on
+//     values, statistics, edge profiles, and error reporting.
 package vm
 
 import (
@@ -71,6 +84,37 @@ func (s *Stats) Merge(o *Stats) {
 	}
 }
 
+// Engine selects an execution engine.
+type Engine int
+
+const (
+	// EngineBytecode pre-decodes the program into flat instruction
+	// arrays and runs a tight dispatch loop. The default.
+	EngineBytecode Engine = iota
+	// EngineTree is the legacy tree-walking interpreter, kept as the
+	// differential reference for the bytecode engine.
+	EngineTree
+)
+
+// String names the engine ("bytecode" or "tree").
+func (e Engine) String() string {
+	if e == EngineTree {
+		return "tree"
+	}
+	return "bytecode"
+}
+
+// ParseEngine maps an engine name back to the enum, for CLI flags.
+func ParseEngine(s string) (Engine, error) {
+	switch s {
+	case "bytecode":
+		return EngineBytecode, nil
+	case "tree":
+		return EngineTree, nil
+	}
+	return 0, fmt.Errorf("vm: unknown engine %q (want bytecode or tree)", s)
+}
+
 // Config controls a VM run.
 type Config struct {
 	// Machine enables callee-saved convention checking when non-nil:
@@ -83,6 +127,8 @@ type Config struct {
 	MaxSteps int64
 	// CollectEdges enables per-edge execution counting.
 	CollectEdges bool
+	// Engine selects the execution engine (default EngineBytecode).
+	Engine Engine
 }
 
 // VM executes a program.
@@ -93,6 +139,19 @@ type VM struct {
 	phys  [64]int64 // machine registers, global across calls
 	heap  []int64
 	steps int64
+
+	// Bytecode engine state. The program is compiled once, at New;
+	// mutate the program after that and the VM keeps executing the
+	// shape it compiled — create a new VM instead.
+	code       *bcProgram
+	callDense  []int64  // per-function call counts, flushed into Stats.Calls
+	edgeDense  []int64  // per-edge traversal counts, flushed into EdgeCount
+	csRegs     []ir.Reg // the machine's callee-saved registers, precomputed
+	csPhys     []int32  // their hardware numbers, for the snapshot loops
+	csFrom     int      // callee-saved registers are the contiguous
+	csTo       int      // range [csFrom, csTo) of the physical file
+	snap       []int64  // convention-check snapshot stack, one segment per live call
+	argScratch []int64  // call argument evaluation stack, one segment per live call
 
 	Stats     Stats
 	EdgeCount map[*ir.Edge]int64
@@ -106,10 +165,24 @@ func New(prog *ir.Program, cfg Config) *VM {
 	if cfg.MaxSteps == 0 {
 		cfg.MaxSteps = 1 << 28
 	}
-	v := &VM{
-		prog: prog,
-		cfg:  cfg,
-		heap: make([]int64, cfg.HeapWords),
+	v := &VM{prog: prog, cfg: cfg}
+	// The heap is only materialized for programs that can touch it;
+	// a program with no load/store never observes the difference, and
+	// the suites of register-resident benchmarks skip half a megabyte
+	// of zeroed allocation per VM.
+	if usesHeap(prog) {
+		v.heap = make([]int64, cfg.HeapWords)
+	}
+	if cfg.Machine != nil {
+		v.csRegs = cfg.Machine.CalleeSaved()
+		for _, r := range v.csRegs {
+			v.csPhys = append(v.csPhys, int32(r.PhysNum()))
+		}
+		v.csFrom = cfg.Machine.CalleeSavedFrom
+		v.csTo = cfg.Machine.NumRegs
+	}
+	if cfg.Engine == EngineBytecode {
+		v.code = compileProgram(prog)
 	}
 	v.Stats.Calls = make(map[string]int64)
 	if cfg.CollectEdges {
@@ -121,247 +194,33 @@ func New(prog *ir.Program, cfg Config) *VM {
 // Run executes the program's main function with the given arguments
 // and returns its result.
 func (v *VM) Run(args ...int64) (int64, error) {
-	f := v.prog.Func(v.prog.Main)
-	if f == nil {
-		return 0, fmt.Errorf("vm: main function %q not found", v.prog.Main)
+	if v.cfg.Engine == EngineTree {
+		return v.runTree(args)
 	}
-	return v.call(f, args, 0)
+	return v.runBytecode(args)
 }
 
-// frame holds per-invocation state.
-type frame struct {
-	virt  []int64
-	spill []int64
-	save  []int64
+// usesHeap reports whether any instruction can address the flat heap.
+func usesHeap(p *ir.Program) bool {
+	for _, f := range p.FuncsInOrder() {
+		for _, b := range f.Blocks {
+			for _, in := range b.Instrs {
+				if in.Op == ir.OpLoad || in.Op == ir.OpStore {
+					return true
+				}
+			}
+		}
+	}
+	return false
 }
 
-var errHalt = errors.New("vm: step limit exceeded")
+// ErrStepLimit is returned (wrapped with the function and block where
+// execution stopped) when a run exceeds Config.MaxSteps.
+var ErrStepLimit = errors.New("vm: step limit exceeded")
 
-func (v *VM) call(f *ir.Func, args []int64, depth int) (int64, error) {
-	if depth > 512 {
-		return 0, fmt.Errorf("vm: call depth exceeded in %s", f.Name)
-	}
-	if len(args) != len(f.Params) {
-		return 0, fmt.Errorf("vm: %s called with %d args, want %d", f.Name, len(args), len(f.Params))
-	}
-	v.Stats.Calls[f.Name]++
-
-	fr := &frame{
-		virt:  make([]int64, f.NumVirt),
-		spill: make([]int64, f.SpillSlots),
-		save:  make([]int64, f.SaveSlots),
-	}
-	for i, p := range f.Params {
-		fr.set(v, p, args[i])
-	}
-
-	// Snapshot callee-saved registers for convention checking.
-	var snapshot []int64
-	if v.cfg.Machine != nil {
-		for _, r := range v.cfg.Machine.CalleeSaved() {
-			snapshot = append(snapshot, v.phys[r.PhysNum()])
-		}
-	}
-	checkConvention := func() error {
-		if v.cfg.Machine == nil {
-			return nil
-		}
-		for i, r := range v.cfg.Machine.CalleeSaved() {
-			if v.phys[r.PhysNum()] != snapshot[i] {
-				return fmt.Errorf("vm: %s violated callee-saved convention: %v changed from %d to %d",
-					f.Name, r, snapshot[i], v.phys[r.PhysNum()])
-			}
-		}
-		return nil
-	}
-
-	b := f.Entry
-	for {
-		next, ret, retVal, err := v.execBlock(f, b, fr, depth)
-		if err != nil {
-			return 0, err
-		}
-		if ret {
-			if err := checkConvention(); err != nil {
-				return 0, err
-			}
-			return retVal, nil
-		}
-		if v.cfg.CollectEdges {
-			if e := b.SuccEdge(next); e != nil {
-				v.EdgeCount[e]++
-			}
-		}
-		b = next
-	}
-}
-
-// execBlock runs one basic block. It returns the successor block, or
-// ret=true with the return value.
-func (v *VM) execBlock(f *ir.Func, b *ir.Block, fr *frame, depth int) (next *ir.Block, ret bool, retVal int64, err error) {
-	for _, in := range b.Instrs {
-		v.steps++
-		if v.steps > v.cfg.MaxSteps {
-			return nil, false, 0, errHalt
-		}
-		v.Stats.Instrs++
-		if in.Op.IsMemLoad() {
-			v.Stats.Loads++
-		}
-		if in.Op.IsMemStore() {
-			v.Stats.Stores++
-		}
-		switch {
-		case in.Flags&ir.FlagSpill != 0 && in.Op == ir.OpSpillLoad:
-			v.Stats.SpillLoads++
-		case in.Flags&ir.FlagSpill != 0 && in.Op == ir.OpSpillStore:
-			v.Stats.SpillStores++
-		case in.Flags&ir.FlagSaveRestore != 0 && in.Op == ir.OpSave:
-			v.Stats.Saves++
-		case in.Flags&ir.FlagSaveRestore != 0 && in.Op == ir.OpRestore:
-			v.Stats.Restores++
-		case in.Flags&ir.FlagJumpBlock != 0:
-			v.Stats.JumpBlockJmps++
-		}
-
-		switch in.Op {
-		case ir.OpNop:
-		case ir.OpConst:
-			fr.set(v, in.Dst, in.Imm)
-		case ir.OpMov:
-			fr.set(v, in.Dst, fr.get(v, in.Src1))
-		case ir.OpAdd:
-			fr.set(v, in.Dst, fr.get(v, in.Src1)+fr.get(v, in.Src2))
-		case ir.OpSub:
-			fr.set(v, in.Dst, fr.get(v, in.Src1)-fr.get(v, in.Src2))
-		case ir.OpMul:
-			fr.set(v, in.Dst, fr.get(v, in.Src1)*fr.get(v, in.Src2))
-		case ir.OpDiv:
-			d := fr.get(v, in.Src2)
-			if d == 0 {
-				fr.set(v, in.Dst, 0)
-			} else {
-				fr.set(v, in.Dst, fr.get(v, in.Src1)/d)
-			}
-		case ir.OpRem:
-			d := fr.get(v, in.Src2)
-			if d == 0 {
-				fr.set(v, in.Dst, 0)
-			} else {
-				fr.set(v, in.Dst, fr.get(v, in.Src1)%d)
-			}
-		case ir.OpAnd:
-			fr.set(v, in.Dst, fr.get(v, in.Src1)&fr.get(v, in.Src2))
-		case ir.OpOr:
-			fr.set(v, in.Dst, fr.get(v, in.Src1)|fr.get(v, in.Src2))
-		case ir.OpXor:
-			fr.set(v, in.Dst, fr.get(v, in.Src1)^fr.get(v, in.Src2))
-		case ir.OpShl:
-			fr.set(v, in.Dst, fr.get(v, in.Src1)<<uint(fr.get(v, in.Src2)&63))
-		case ir.OpShr:
-			fr.set(v, in.Dst, fr.get(v, in.Src1)>>uint(fr.get(v, in.Src2)&63))
-		case ir.OpNeg:
-			fr.set(v, in.Dst, -fr.get(v, in.Src1))
-		case ir.OpNot:
-			fr.set(v, in.Dst, ^fr.get(v, in.Src1))
-		case ir.OpCmpEQ:
-			fr.set(v, in.Dst, b2i(fr.get(v, in.Src1) == fr.get(v, in.Src2)))
-		case ir.OpCmpNE:
-			fr.set(v, in.Dst, b2i(fr.get(v, in.Src1) != fr.get(v, in.Src2)))
-		case ir.OpCmpLT:
-			fr.set(v, in.Dst, b2i(fr.get(v, in.Src1) < fr.get(v, in.Src2)))
-		case ir.OpCmpLE:
-			fr.set(v, in.Dst, b2i(fr.get(v, in.Src1) <= fr.get(v, in.Src2)))
-		case ir.OpCmpGT:
-			fr.set(v, in.Dst, b2i(fr.get(v, in.Src1) > fr.get(v, in.Src2)))
-		case ir.OpCmpGE:
-			fr.set(v, in.Dst, b2i(fr.get(v, in.Src1) >= fr.get(v, in.Src2)))
-		case ir.OpLoad:
-			addr := fr.get(v, in.Src1) + in.Imm
-			if addr < 0 || addr >= int64(len(v.heap)) {
-				return nil, false, 0, fmt.Errorf("vm: %s: load out of bounds at %d", f.Name, addr)
-			}
-			fr.set(v, in.Dst, v.heap[addr])
-		case ir.OpStore:
-			addr := fr.get(v, in.Src1) + in.Imm
-			if addr < 0 || addr >= int64(len(v.heap)) {
-				return nil, false, 0, fmt.Errorf("vm: %s: store out of bounds at %d", f.Name, addr)
-			}
-			v.heap[addr] = fr.get(v, in.Src2)
-		case ir.OpSpillLoad:
-			fr.ensureSpill(int(in.Imm))
-			fr.set(v, in.Dst, fr.spill[in.Imm])
-		case ir.OpSpillStore:
-			fr.ensureSpill(int(in.Imm))
-			fr.spill[in.Imm] = fr.get(v, in.Src1)
-		case ir.OpSave:
-			fr.ensureSave(int(in.Imm))
-			fr.save[in.Imm] = fr.get(v, in.Src1)
-		case ir.OpRestore:
-			fr.ensureSave(int(in.Imm))
-			fr.set(v, in.Dst, fr.save[in.Imm])
-		case ir.OpCall:
-			callee := v.prog.Func(in.Callee)
-			if callee == nil {
-				return nil, false, 0, fmt.Errorf("vm: %s calls undefined %q", f.Name, in.Callee)
-			}
-			args := make([]int64, len(in.Args))
-			for i, a := range in.Args {
-				args[i] = fr.get(v, a)
-			}
-			r, err := v.call(callee, args, depth+1)
-			if err != nil {
-				return nil, false, 0, err
-			}
-			if in.Dst.IsValid() {
-				fr.set(v, in.Dst, r)
-			}
-		case ir.OpRet:
-			var rv int64
-			if in.Src1.IsValid() {
-				rv = fr.get(v, in.Src1)
-			}
-			return nil, true, rv, nil
-		case ir.OpBr:
-			if fr.get(v, in.Src1) != 0 {
-				return in.Then, false, 0, nil
-			}
-			return in.Else, false, 0, nil
-		case ir.OpJmp:
-			return in.Then, false, 0, nil
-		default:
-			return nil, false, 0, fmt.Errorf("vm: %s: unknown opcode %v", f.Name, in.Op)
-		}
-	}
-	return nil, false, 0, fmt.Errorf("vm: %s: block %s fell off the end", f.Name, b.Name)
-}
-
-func (fr *frame) get(v *VM, r ir.Reg) int64 {
-	if r.IsPhys() {
-		return v.phys[r.PhysNum()]
-	}
-	return fr.virt[r.VirtNum()]
-}
-
-func (fr *frame) set(v *VM, r ir.Reg, val int64) {
-	if r.IsPhys() {
-		v.phys[r.PhysNum()] = val
-		return
-	}
-	fr.virt[r.VirtNum()] = val
-}
-
-func (fr *frame) ensureSpill(i int) {
-	for len(fr.spill) <= i {
-		fr.spill = append(fr.spill, 0)
-	}
-}
-
-func (fr *frame) ensureSave(i int) {
-	for len(fr.save) <= i {
-		fr.save = append(fr.save, 0)
-	}
-}
+// maxCallDepth bounds recursion; beyond it the VM reports a call depth
+// error rather than exhausting the host stack.
+const maxCallDepth = 512
 
 func b2i(b bool) int64 {
 	if b {

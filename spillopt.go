@@ -99,6 +99,13 @@ type Program struct {
 	// Results are identical for any value.
 	Parallelism int
 
+	// UseLegacyVM switches Profile and Run onto the legacy
+	// tree-walking interpreter instead of the default bytecode engine.
+	// Every measured count is identical either way (the engines are
+	// parity-tested); the legacy engine exists as the differential
+	// reference and is several times slower.
+	UseLegacyVM bool
+
 	profiled  bool
 	allocated bool
 	placed    bool
@@ -136,7 +143,7 @@ func (p *Program) Profile(args ...int64) error {
 	if p.allocated {
 		return fmt.Errorf("spillopt: Profile must run before Allocate")
 	}
-	if _, err := profile.Collect(p.prog, args...); err != nil {
+	if _, err := profile.CollectWithConfig(p.prog, vm.Config{Engine: p.engine()}, args...); err != nil {
 		return err
 	}
 	if err := profile.Consistent(p.prog); err != nil {
@@ -215,7 +222,7 @@ func (p *Program) PlacementCost(funcName string, s Strategy) (int64, error) {
 // and returns the measured result. It requires placement to have run
 // (or no procedure to use callee-saved registers).
 func (p *Program) Run(args ...int64) (*Result, error) {
-	m := vm.New(p.prog, vm.Config{Machine: p.mach})
+	m := vm.New(p.prog, vm.Config{Machine: p.mach, Engine: p.engine()})
 	v, err := m.Run(args...)
 	if err != nil {
 		return nil, err
@@ -261,6 +268,14 @@ func (p *Program) DotPST(funcName string) (string, error) {
 	return dot.PST(f, t), nil
 }
 
+// engine maps the facade knob to the VM's engine enum.
+func (p *Program) engine() vm.Engine {
+	if p.UseLegacyVM {
+		return vm.EngineTree
+	}
+	return vm.EngineBytecode
+}
+
 // Clone deep-copies the program so several strategies can be compared
 // from the same allocation.
 func (p *Program) Clone() *Program {
@@ -268,6 +283,7 @@ func (p *Program) Clone() *Program {
 		prog:        p.prog.Clone(),
 		mach:        p.mach,
 		Parallelism: p.Parallelism,
+		UseLegacyVM: p.UseLegacyVM,
 		profiled:    p.profiled,
 		allocated:   p.allocated,
 		placed:      p.placed,
