@@ -98,7 +98,10 @@ func BenchmarkFigure2Hierarchical(b *testing.B) {
 			b.Fatal(err)
 		}
 		seed := shrinkwrap.Compute(f, shrinkwrap.Seed)
-		final, _ := core.Hierarchical(f, t, seed, core.JumpEdgeModel{})
+		final, _, err := core.Hierarchical(f, t, seed, core.JumpEdgeModel{})
+		if err != nil {
+			b.Fatal(err)
+		}
 		if core.TotalCost(core.JumpEdgeModel{}, final) != 200 {
 			b.Fatal("wrong result")
 		}

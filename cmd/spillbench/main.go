@@ -34,6 +34,7 @@ func main() {
 	irgenN := flag.Int("irgen", 0, "append this many random irgen scenario families to the suite")
 	irgenSeed := flag.Uint64("irgen-seed", 1, "first seed of the appended irgen families")
 	engine := flag.String("engine", "bytecode", "VM engine for the measurement runs: bytecode or tree")
+	unshared := flag.Bool("unshared", false, "disable the shared per-function analysis cache (A/B reference for Table 2 placement times)")
 	jsonOut := flag.String("json", "", "instead of the tables: benchmark both VM engines on the placed suite and write the JSON record here (e.g. BENCH_vm.json)")
 	reps := flag.Int("reps", 3, "with -json: VM executions per benchmark per engine")
 	flag.Parse()
@@ -88,7 +89,7 @@ func main() {
 		entries = filtered
 	}
 
-	results, err := bench.RunEntries(entries, bench.Options{Align: *align, Parallelism: *jobs, Engine: eng})
+	results, err := bench.RunEntries(entries, bench.Options{Align: *align, Parallelism: *jobs, Engine: eng, Unshared: *unshared})
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "spillbench: %v\n", err)
 		os.Exit(1)

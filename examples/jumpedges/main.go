@@ -39,7 +39,10 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	final, _ := core.Hierarchical(f, t, seed, core.ExecCountModel{})
+	final, _, err := core.Hierarchical(f, t, seed, core.ExecCountModel{})
+	if err != nil {
+		log.Fatal(err)
+	}
 
 	// Apply the exec-count placement: it keeps the D->F restore, so
 	// Apply must create a jump block.
@@ -50,7 +53,10 @@ func main() {
 		log.Fatal(err)
 	}
 	cseed := shrinkwrap.Compute(clone, shrinkwrap.Seed)
-	cfinal, _ := core.Hierarchical(clone, ct, cseed, core.ExecCountModel{})
+	cfinal, _, err := core.Hierarchical(clone, ct, cseed, core.ExecCountModel{})
+	if err != nil {
+		log.Fatal(err)
+	}
 	if len(cfinal) != len(final) {
 		log.Fatal("clone placement diverged")
 	}

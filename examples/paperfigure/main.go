@@ -55,7 +55,10 @@ func main() {
 
 	for _, m := range []core.CostModel{core.ExecCountModel{}, core.JumpEdgeModel{}} {
 		fmt.Printf("\n=== Figure 4: hierarchical placement, %s cost model ===\n", m.Name())
-		final, decisions := core.Hierarchical(f, t, seed, m)
+		final, decisions, err := core.Hierarchical(f, t, seed, m)
+		if err != nil {
+			log.Fatal(err)
+		}
 		for _, d := range decisions {
 			verdict := "keep contained sets"
 			if d.Replaced {

@@ -1,0 +1,205 @@
+package analysis_test
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/analysis"
+	"repro/internal/core"
+	"repro/internal/ir"
+	"repro/internal/irtext"
+	"repro/internal/machine"
+	"repro/internal/profile"
+	"repro/internal/regalloc"
+)
+
+// demoFunc returns a profiled, allocated function that uses
+// callee-saved registers (so the seed sets are non-trivial).
+func demoFunc(t *testing.T) *ir.Func {
+	t.Helper()
+	src := `
+main main
+
+func leaf(v0) {
+entry:
+	v1 = const 3
+	v2 = mul v0, v1
+	ret v2
+}
+
+func main(v0) {
+entry:
+	v1 = const 0
+	v2 = const 0
+	jmp loop ; 0
+loop:
+	v3 = call leaf(v2)
+	v1 = add v1, v3
+	v4 = const 1
+	v2 = add v2, v4
+	v5 = cmplt v2, v0
+	br v5, loop, exit ; 0 0
+exit:
+	ret v1
+}
+`
+	prog, err := irtext.Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := profile.Collect(prog, 50); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := regalloc.AllocateProgram(prog, machine.PARISC()); err != nil {
+		t.Fatal(err)
+	}
+	f := prog.Func("main")
+	if len(f.UsedCalleeSaved) == 0 {
+		t.Fatal("main uses no callee-saved registers; demo program too small")
+	}
+	return f
+}
+
+// TestMemoization: repeated accessor calls return the identical result
+// and build each analysis exactly once.
+func TestMemoization(t *testing.T) {
+	f := demoFunc(t)
+	info := analysis.For(f)
+	if info.Func() != f {
+		t.Fatal("Func() does not return the analyzed function")
+	}
+
+	lv := info.Liveness()
+	dom := info.Dom()
+	loops := info.Loops()
+	tree, err := info.PST()
+	if err != nil {
+		t.Fatal(err)
+	}
+	seed := info.ShrinkwrapSeed()
+	busy := info.BusyBlocks(f.UsedCalleeSaved[0])
+
+	if info.Liveness() != lv || info.Dom() != dom || info.Loops() != loops {
+		t.Error("accessors returned fresh objects on second call")
+	}
+	if tree2, _ := info.PST(); tree2 != tree {
+		t.Error("PST rebuilt on second call")
+	}
+	if seed2 := info.ShrinkwrapSeed(); len(seed2) != len(seed) || (len(seed) > 0 && seed2[0] != seed[0]) {
+		t.Error("seed rebuilt on second call")
+	}
+	if busy2 := info.BusyBlocks(f.UsedCalleeSaved[0]); &busy2[0] != &busy[0] {
+		t.Error("busy mask rebuilt on second call")
+	}
+
+	c := info.Counts()
+	if c.Liveness != 1 || c.Dom != 1 || c.Loops != 1 || c.PST != 1 || c.Seed != 1 {
+		t.Errorf("analyses built more than once: %+v", c)
+	}
+}
+
+// TestInvalidate: after core.Apply mutates the function, Invalidate
+// makes every accessor recompute against the new shape — stale results
+// sized for the old block count are never served.
+func TestInvalidate(t *testing.T) {
+	f := demoFunc(t)
+	info := analysis.For(f)
+
+	lv1 := info.Liveness()
+	if _, err := info.PST(); err != nil {
+		t.Fatal(err)
+	}
+	seed := info.ShrinkwrapSeed()
+
+	if err := core.Apply(f, seed); err != nil {
+		t.Fatal(err)
+	}
+	info.Invalidate()
+
+	lv2 := info.Liveness()
+	if lv2 == lv1 {
+		t.Error("stale liveness served after Invalidate")
+	}
+	if got, want := len(lv2.In), len(f.Blocks); got != want {
+		t.Errorf("fresh liveness covers %d blocks, function has %d", got, want)
+	}
+	tree2, err := info.PST()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := len(tree2.Root.Blocks), len(f.Blocks); got != want {
+		t.Errorf("fresh PST root covers %d blocks, function has %d", got, want)
+	}
+	c := info.Counts()
+	if c.Liveness != 2 || c.PST != 2 {
+		t.Errorf("counts should be cumulative across invalidation: %+v", c)
+	}
+}
+
+// TestConcurrentAccessors: many goroutines hitting one Info must agree
+// on the memoized results (run under -race).
+func TestConcurrentAccessors(t *testing.T) {
+	f := demoFunc(t)
+	info := analysis.For(f)
+	var wg sync.WaitGroup
+	results := make([]*struct {
+		lv   any
+		tree any
+	}, 16)
+	for i := range results {
+		results[i] = &struct {
+			lv   any
+			tree any
+		}{}
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			results[i].lv = info.Liveness()
+			tree, _ := info.PST()
+			results[i].tree = tree
+			info.ShrinkwrapSeed()
+			info.Loops()
+			info.BusyBlocks(f.UsedCalleeSaved[0])
+		}(i)
+	}
+	wg.Wait()
+	for i := 1; i < len(results); i++ {
+		if results[i].lv != results[0].lv || results[i].tree != results[0].tree {
+			t.Fatal("goroutines observed different memoized results")
+		}
+	}
+	c := info.Counts()
+	if c.Liveness != 1 || c.PST != 1 || c.Seed != 1 {
+		t.Errorf("concurrent access built analyses more than once: %+v", c)
+	}
+}
+
+// TestCache: per-function identity, invalidation, and nil-cache
+// degradation.
+func TestCache(t *testing.T) {
+	f := demoFunc(t)
+	c := analysis.NewCache()
+	if c.For(f) != c.For(f) {
+		t.Error("cache returned distinct Infos for one function")
+	}
+	lv := c.For(f).Liveness()
+	c.Invalidate(f)
+	if c.For(f).Liveness() == lv {
+		t.Error("cache served stale liveness after Invalidate")
+	}
+	lv = c.For(f).Liveness()
+	c.InvalidateAll()
+	if c.For(f).Liveness() == lv {
+		t.Error("cache served stale liveness after InvalidateAll")
+	}
+
+	var nilCache *analysis.Cache
+	if nilCache.For(f) == nil {
+		t.Error("nil cache should degrade to a fresh Info")
+	}
+	if nilCache.For(f) == nilCache.For(f) {
+		t.Error("nil cache must not memoize")
+	}
+	nilCache.Invalidate(f) // must not panic
+	nilCache.InvalidateAll()
+}

@@ -1,0 +1,67 @@
+package analysis
+
+import (
+	"sync"
+
+	"repro/internal/ir"
+)
+
+// Cache is a program-level store of per-function Infos, shared by the
+// concurrent stages of the pipeline: the par.Do sharding hands each
+// worker the same Cache, and workers obtain (and invalidate) the Info
+// of the function they own. For is safe for concurrent use; the Infos
+// it returns carry their own locking.
+type Cache struct {
+	mu sync.Mutex
+	m  map[*ir.Func]*Info
+}
+
+// NewCache returns an empty cache.
+func NewCache() *Cache { return &Cache{m: make(map[*ir.Func]*Info)} }
+
+// For returns the memoized Info for f, creating it on first use. A nil
+// Cache is valid and degrades to an unshared fresh Info per call, so
+// optional-cache plumbing needs no branching at call sites.
+func (c *Cache) For(f *ir.Func) *Info {
+	if c == nil {
+		return For(f)
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	info := c.m[f]
+	if info == nil {
+		info = For(f)
+		c.m[f] = info
+	}
+	return info
+}
+
+// Invalidate drops the memoized results for f, if any.
+func (c *Cache) Invalidate(f *ir.Func) {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	info := c.m[f]
+	c.mu.Unlock()
+	if info != nil {
+		info.Invalidate()
+	}
+}
+
+// InvalidateAll drops the memoized results of every function, e.g.
+// after a whole-program mutation like register allocation.
+func (c *Cache) InvalidateAll() {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	infos := make([]*Info, 0, len(c.m))
+	for _, info := range c.m {
+		infos = append(infos, info)
+	}
+	c.mu.Unlock()
+	for _, info := range infos {
+		info.Invalidate()
+	}
+}

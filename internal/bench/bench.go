@@ -11,6 +11,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/analysis"
 	"repro/internal/core"
 	"repro/internal/ir"
 	"repro/internal/irgen"
@@ -131,6 +132,13 @@ type Options struct {
 	// reference). Measured counts are engine-independent — the parity
 	// tests prove it — only wall-clock time changes.
 	Engine vm.Engine
+	// Unshared disables the shared analysis cache: every strategy
+	// rebuilds liveness, dominators, loops, PST, and the shrink-wrap
+	// seed from scratch, reproducing the pre-sharing pipeline. Sets and
+	// measured counts are identical either way (the identity tests
+	// prove it); only PlacementTime changes. Kept as the A/B reference
+	// for the analysis-layer speedup (spillbench -unshared).
+	Unshared bool
 }
 
 // Entry is one measurable program: a name for the reports and a
@@ -216,15 +224,28 @@ func RunEntry(e Entry, opts Options) (*Result, error) {
 	// across strategies — two strategies' placements of the same
 	// benchmark never compete for CPUs and pollute each other's
 	// timings. Each strategy's placement may still fan out per
-	// function. Placement is cheap; the VM runs below dominate.
+	// function. All strategies compute their sets on the shared
+	// allocated program through one analysis cache — liveness,
+	// dominators, loops, PST, and the shrink-wrap seed are built once
+	// per function, by whichever strategy first needs them — and the
+	// sets are then translated onto a per-strategy clone for the
+	// mutation. Placement is cheap; the VM runs below dominate.
 	clones := make([]*ir.Program, numStrategies)
+	var cache *analysis.Cache // nil (no sharing) when opts.Unshared
+	if !opts.Unshared {
+		cache = analysis.NewCache()
+	}
+	funcs := strategy.NeedsPlacement(prog)
 	for _, s := range Strategies {
-		clone := prog.Clone()
-		elapsed, err := place(clone, s, opts.Parallelism)
+		sets, elapsed, err := computeSets(funcs, s, opts.Parallelism, cache)
 		if err != nil {
 			return nil, fmt.Errorf("bench %s: %s: %w", e.Name, s, err)
 		}
 		res.PlacementTime[s] = elapsed
+		clone := prog.Clone()
+		if err := applySets(clone, funcs, sets, opts.Parallelism); err != nil {
+			return nil, fmt.Errorf("bench %s: %s: %w", e.Name, s, err)
+		}
 		clones[s] = clone
 	}
 
@@ -258,20 +279,24 @@ func RunEntry(e Entry, opts Options) (*Result, error) {
 	return res, nil
 }
 
-// place computes and applies one strategy's placement to every
-// procedure that uses callee-saved registers, returning the time spent
-// computing placements (the strategy's incremental compile time).
-// Procedures are independent, so they fan out across a bounded pool;
-// the returned duration is the sum of per-procedure compute times,
-// matching the serial accounting.
-func place(prog *ir.Program, s Strategy, parallelism int) (time.Duration, error) {
-	funcs := strategy.NeedsPlacement(prog)
+// computeSets computes and validates one strategy's placement for
+// every function in funcs (the shared allocated program), returning
+// the per-function sets and the time spent computing them (the
+// strategy's incremental compile time, Table 2). Procedures are
+// independent, so they fan out across a bounded pool; the returned
+// duration is the sum of per-procedure compute times, matching the
+// serial accounting. Analyses shared through cache are charged to the
+// first strategy that builds them, so the timing column keeps its
+// incremental-compile-time meaning under sharing.
+func computeSets(funcs []*ir.Func, s Strategy, parallelism int, cache *analysis.Cache) ([][]*core.Set, time.Duration, error) {
+	sets := make([][]*core.Set, len(funcs))
 	var mu sync.Mutex
 	var elapsed time.Duration
 	err := par.Do(len(funcs), parallelism, func(i int) error {
 		f := funcs[i]
+		info := cache.For(f)
 		start := time.Now()
-		sets, err := strategy.Compute(f, s.technique())
+		fs, err := strategy.ComputeCached(f, s.technique(), info)
 		if err != nil {
 			return err
 		}
@@ -279,11 +304,31 @@ func place(prog *ir.Program, s Strategy, parallelism int) (time.Duration, error)
 		mu.Lock()
 		elapsed += d
 		mu.Unlock()
-		if err := core.ValidateSets(f, sets); err != nil {
+		if err := core.ValidateSetsLive(f, fs, info.Liveness()); err != nil {
 			return fmt.Errorf("%s: %w", f.Name, err)
 		}
-		if err := core.Apply(f, sets); err != nil {
-			return fmt.Errorf("%s: %w", f.Name, err)
+		sets[i] = fs
+		return nil
+	})
+	if err != nil {
+		return nil, 0, err
+	}
+	return sets, elapsed, nil
+}
+
+// place computes, validates, and applies one strategy's placement to
+// every procedure of prog in place, returning the compute time. The
+// consistency tests use it to place a single program without the
+// per-strategy clone-and-translate dance of RunEntry.
+func place(prog *ir.Program, s Strategy, parallelism int) (time.Duration, error) {
+	funcs := strategy.NeedsPlacement(prog)
+	sets, elapsed, err := computeSets(funcs, s, parallelism, analysis.NewCache())
+	if err != nil {
+		return 0, err
+	}
+	err = par.Do(len(funcs), parallelism, func(i int) error {
+		if err := core.Apply(funcs[i], sets[i]); err != nil {
+			return fmt.Errorf("%s: %w", funcs[i].Name, err)
 		}
 		return nil
 	})
@@ -291,6 +336,23 @@ func place(prog *ir.Program, s Strategy, parallelism int) (time.Duration, error)
 		return 0, err
 	}
 	return elapsed, nil
+}
+
+// applySets translates the sets computed on the shared base onto the
+// strategy's clone and applies them there.
+func applySets(clone *ir.Program, funcs []*ir.Func, sets [][]*core.Set, parallelism int) error {
+	return par.Do(len(funcs), parallelism, func(i int) error {
+		f := funcs[i]
+		cf := clone.Func(f.Name)
+		cs, err := core.TranslateSets(sets[i], f, cf)
+		if err != nil {
+			return fmt.Errorf("%s: %w", f.Name, err)
+		}
+		if err := core.Apply(cf, cs); err != nil {
+			return fmt.Errorf("%s: %w", f.Name, err)
+		}
+		return nil
+	})
 }
 
 // RunAll runs every benchmark in the suite serially. RunAllWithOptions

@@ -58,7 +58,10 @@ func TestEstimatedProfileExperiment(t *testing.T) {
 					t.Fatal(err)
 				}
 				seed := shrinkwrap.Compute(f, shrinkwrap.Seed)
-				sets, _ := core.Hierarchical(f, tr, seed, core.JumpEdgeModel{})
+				sets, _, err := core.Hierarchical(f, tr, seed, core.JumpEdgeModel{})
+				if err != nil {
+					t.Fatal(err)
+				}
 				if err := core.ValidateSets(f, sets); err != nil {
 					t.Fatalf("%s/%s estimated=%v: %v", name, f.Name, estimated, err)
 				}

@@ -71,6 +71,18 @@ func Table2(results []*Result) string {
 	}
 	fmt.Fprintf(&b, "%-10s %15.3fms %15.3fms %8.2f\n", "Average",
 		sumSw/float64(len(results)), sumOpt/float64(len(results)), avgRatio)
+
+	// All-strategy placement total: the suite's whole compile-side
+	// placement cost, the number the shared analysis layer shrinks
+	// (per-strategy columns hide sharing, since whichever strategy
+	// first needs an analysis is charged for building it).
+	var total float64
+	for _, r := range results {
+		for _, s := range Strategies {
+			total += r.PlacementTime[s].Seconds() * 1e3
+		}
+	}
+	fmt.Fprintf(&b, "\nTotal placement compute time, all %d strategies: %.3fms\n", len(Strategies), total)
 	return b.String()
 }
 

@@ -35,8 +35,14 @@ func TestCanonicalEqualsMaximalCost(t *testing.T) {
 			t.Fatalf("%s: %v", f.Name, err)
 		}
 		seed := shrinkwrap.Compute(f, shrinkwrap.Seed)
-		maxF, _ := core.Hierarchical(f, maxT, seed, m)
-		canF, _ := core.Hierarchical(f, canT, seed, m)
+		maxF, _, err := core.Hierarchical(f, maxT, seed, m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		canF, _, err := core.Hierarchical(f, canT, seed, m)
+		if err != nil {
+			t.Fatal(err)
+		}
 		mc, cc := core.TotalCost(m, maxF), core.TotalCost(m, canF)
 		if mc != cc {
 			t.Errorf("%s: maximal-region cost %d != canonical-region cost %d", f.Name, mc, cc)
@@ -55,8 +61,14 @@ func TestSecondPassIsFixpointExecModel(t *testing.T) {
 			t.Fatalf("%s: %v", f.Name, err)
 		}
 		seed := shrinkwrap.Compute(f, shrinkwrap.Seed)
-		once, _ := core.Hierarchical(f, tr, seed, m)
-		twice, _ := core.Hierarchical(f, tr, once, m)
+		once, _, err := core.Hierarchical(f, tr, seed, m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		twice, _, err := core.Hierarchical(f, tr, once, m)
+		if err != nil {
+			t.Fatal(err)
+		}
 		c1, c2 := core.TotalCost(m, once), core.TotalCost(m, twice)
 		if c2 != c1 {
 			t.Errorf("%s: second pass changed cost %d -> %d (not a fixpoint)", f.Name, c1, c2)
@@ -75,8 +87,14 @@ func TestJumpModelSecondPassNeverWorse(t *testing.T) {
 			t.Fatalf("%s: %v", f.Name, err)
 		}
 		seed := shrinkwrap.Compute(f, shrinkwrap.Seed)
-		once, _ := core.Hierarchical(f, tr, seed, m)
-		twice, _ := core.Hierarchical(f, tr, once, m)
+		once, _, err := core.Hierarchical(f, tr, seed, m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		twice, _, err := core.Hierarchical(f, tr, once, m)
+		if err != nil {
+			t.Fatal(err)
+		}
 		c1, c2 := core.TotalCost(m, once), core.TotalCost(m, twice)
 		if c2 > c1 {
 			t.Errorf("%s: second pass increased cost %d -> %d", f.Name, c1, c2)

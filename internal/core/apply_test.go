@@ -115,7 +115,10 @@ func TestApplyHierarchicalExecCount(t *testing.T) {
 		t.Fatal(err)
 	}
 	seed := shrinkwrap.Compute(f, shrinkwrap.Seed)
-	final, _ := core.Hierarchical(f, p, seed, core.ExecCountModel{})
+	final, _, err := core.Hierarchical(f, p, seed, core.ExecCountModel{})
+	if err != nil {
+		t.Fatal(err)
+	}
 
 	clone := f.Clone()
 	clone.UsedCalleeSaved = f.UsedCalleeSaved
@@ -125,7 +128,10 @@ func TestApplyHierarchicalExecCount(t *testing.T) {
 		t.Fatal(err)
 	}
 	cseed := shrinkwrap.Compute(clone, shrinkwrap.Seed)
-	cfinal, _ := core.Hierarchical(clone, pc, cseed, core.ExecCountModel{})
+	cfinal, _, err := core.Hierarchical(clone, pc, cseed, core.ExecCountModel{})
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(cfinal) != len(final) {
 		t.Fatalf("clone placement differs")
 	}

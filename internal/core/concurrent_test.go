@@ -26,7 +26,11 @@ func placeOne(t *testing.T, f *ir.Func) []string {
 		return nil
 	}
 	seed := shrinkwrap.Compute(f, shrinkwrap.Seed)
-	sets, _ := core.Hierarchical(f, tree, seed, core.JumpEdgeModel{})
+	sets, _, err := core.Hierarchical(f, tree, seed, core.JumpEdgeModel{})
+	if err != nil {
+		t.Errorf("%s: %v", f.Name, err)
+		return nil
+	}
 	if err := core.ValidateSets(f, sets); err != nil {
 		t.Errorf("%s: %v", f.Name, err)
 	}

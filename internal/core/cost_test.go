@@ -113,8 +113,14 @@ func TestStaticAwareModel(t *testing.T) {
 
 	// Weight 0 behaves exactly like the jump edge model.
 	m0 := core.StaticAwareModel{StaticWeight: 0}
-	f0, _ := core.Hierarchical(f, tr, seed, m0)
-	fj, _ := core.Hierarchical(f, tr, seed, core.JumpEdgeModel{})
+	f0, _, err := core.Hierarchical(f, tr, seed, m0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fj, _, err := core.Hierarchical(f, tr, seed, core.JumpEdgeModel{})
+	if err != nil {
+		t.Fatal(err)
+	}
 	if core.TotalCost(core.JumpEdgeModel{}, f0) != core.TotalCost(core.JumpEdgeModel{}, fj) {
 		t.Error("StaticWeight 0 should match the jump edge model")
 	}
@@ -122,7 +128,10 @@ func TestStaticAwareModel(t *testing.T) {
 	// A huge static weight drives the placement to the static minimum:
 	// entry/exit (one save, one restore for the single-exit figure).
 	mBig := core.StaticAwareModel{StaticWeight: 1 << 20}
-	fb, _ := core.Hierarchical(f, tr, seed, mBig)
+	fb, _, err := core.Hierarchical(f, tr, seed, mBig)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if got := core.StaticCount(fb); got != 2 {
 		t.Errorf("static count under huge weight = %d, want 2 (entry/exit)", got)
 	}

@@ -159,7 +159,10 @@ func runHSCP(t *testing.T, fig *workload.Figure2, m core.CostModel) ([]*core.Set
 		t.Fatal(err)
 	}
 	seed := shrinkwrap.Compute(fig.Func, shrinkwrap.Seed)
-	final, dec := core.Hierarchical(fig.Func, p, seed, m)
+	final, dec, err := core.Hierarchical(fig.Func, p, seed, m)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if err := core.ValidateSets(fig.Func, final); err != nil {
 		t.Fatalf("hierarchical placement invalid under %s: %v", m.Name(), err)
 	}
@@ -295,7 +298,10 @@ func TestFigure1ProfileSensitivity(t *testing.T) {
 			t.Fatal(err)
 		}
 		seed := shrinkwrap.Compute(fig.Func, shrinkwrap.Seed)
-		final, _ := core.Hierarchical(fig.Func, p, seed, exec)
+		final, _, err := core.Hierarchical(fig.Func, p, seed, exec)
+		if err != nil {
+			t.Fatal(err)
+		}
 		if err := core.ValidateSets(fig.Func, final); err != nil {
 			t.Fatalf("invalid placement: %v", err)
 		}

@@ -1,6 +1,8 @@
 package core
 
 import (
+	"fmt"
+
 	"repro/internal/ir"
 	"repro/internal/pst"
 )
@@ -90,12 +92,24 @@ type RegionDecision struct {
 // single set at the boundaries.
 //
 // It returns the final save/restore sets and the per-region decisions
-// in traversal order. The input seed sets are not modified.
+// in traversal order. The input seed sets are not modified. It errors
+// when handed unusable inputs — a nil cost model, a nil tree, or a
+// tree built for a different function — instead of traversing with
+// them; callers must propagate the error rather than apply a partial
+// placement.
 //
 // Hierarchical keeps all working state local and only reads f, t, and
 // seed, so concurrent calls over distinct functions (each with its own
 // PST and seed) are safe — the parallel pipeline relies on this.
-func Hierarchical(f *ir.Func, t *pst.PST, seed []*Set, m CostModel) ([]*Set, []RegionDecision) {
+func Hierarchical(f *ir.Func, t *pst.PST, seed []*Set, m CostModel) ([]*Set, []RegionDecision, error) {
+	switch {
+	case m == nil:
+		return nil, nil, fmt.Errorf("core.Hierarchical(%s): nil cost model", f.Name)
+	case t == nil:
+		return nil, nil, fmt.Errorf("core.Hierarchical(%s): nil PST", f.Name)
+	case t.Func != f:
+		return nil, nil, fmt.Errorf("core.Hierarchical(%s): PST was built for %s", f.Name, t.Func.Name)
+	}
 	live := make([]*Set, len(seed))
 	copy(live, seed)
 	var decisions []RegionDecision
@@ -133,7 +147,7 @@ func Hierarchical(f *ir.Func, t *pst.PST, seed []*Set, m CostModel) ([]*Set, []R
 			live = next
 		}
 	}
-	return live, decisions
+	return live, decisions, nil
 }
 
 // EntryExit returns the baseline placement: save every used

@@ -20,7 +20,10 @@ func TestHierarchicalEmptySeed(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	final, dec := core.Hierarchical(f, tr, nil, core.ExecCountModel{})
+	final, dec, err := core.Hierarchical(f, tr, nil, core.ExecCountModel{})
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(final) != 0 || len(dec) != 0 {
 		t.Errorf("empty seed should stay empty: %v %v", final, dec)
 	}
@@ -61,7 +64,10 @@ func TestHierarchicalTwoRegistersIndependent(t *testing.T) {
 		t.Fatal(err)
 	}
 	seed := shrinkwrap.Compute(f, shrinkwrap.Seed)
-	final, _ := core.Hierarchical(f, tr, seed, core.ExecCountModel{})
+	final, _, err := core.Hierarchical(f, tr, seed, core.ExecCountModel{})
+	if err != nil {
+		t.Fatal(err)
+	}
 	if err := core.ValidateSets(f, final); err != nil {
 		t.Fatalf("two-register placement invalid: %v", err)
 	}
@@ -104,7 +110,10 @@ func TestHierarchicalZeroWeights(t *testing.T) {
 		t.Fatal(err)
 	}
 	seed := shrinkwrap.Compute(f, shrinkwrap.Seed)
-	final, _ := core.Hierarchical(f, tr, seed, core.JumpEdgeModel{})
+	final, _, err := core.Hierarchical(f, tr, seed, core.JumpEdgeModel{})
+	if err != nil {
+		t.Fatal(err)
+	}
 	if err := core.ValidateSets(f, final); err != nil {
 		t.Errorf("zero-weight placement invalid: %v", err)
 	}
@@ -121,7 +130,10 @@ func TestDecisionsRecordEveryConsideredRegion(t *testing.T) {
 		t.Fatal(err)
 	}
 	seed := shrinkwrap.Compute(f, shrinkwrap.Seed)
-	_, dec := core.Hierarchical(f, tr, seed, core.ExecCountModel{})
+	_, dec, err := core.Hierarchical(f, tr, seed, core.ExecCountModel{})
+	if err != nil {
+		t.Fatal(err)
+	}
 	// Regions with no contained sets ({E}) are skipped; the {N} leaf
 	// region, R1, R2, R3 and the root each record one decision for the
 	// single register.

@@ -65,7 +65,10 @@ func TestIrreduciblePlacement(t *testing.T) {
 	if err := core.ValidateSets(f, shrinkwrap.Compute(f, shrinkwrap.Original)); err != nil {
 		t.Errorf("original invalid on irreducible CFG: %v", err)
 	}
-	final, _ := core.Hierarchical(f, tr, seed, core.JumpEdgeModel{})
+	final, _, err := core.Hierarchical(f, tr, seed, core.JumpEdgeModel{})
+	if err != nil {
+		t.Fatal(err)
+	}
 	if err := core.ValidateSets(f, final); err != nil {
 		t.Errorf("hierarchical invalid on irreducible CFG: %v", err)
 	}
@@ -99,7 +102,10 @@ func TestMultiExitEndToEnd(t *testing.T) {
 		t.Errorf("root exit weight = %d, want 100 (both exits)", got)
 	}
 	seed := shrinkwrap.Compute(f, shrinkwrap.Seed)
-	final, _ := core.Hierarchical(f, tr, seed, core.ExecCountModel{})
+	final, _, err := core.Hierarchical(f, tr, seed, core.ExecCountModel{})
+	if err != nil {
+		t.Fatal(err)
+	}
 	if err := core.ValidateSets(f, final); err != nil {
 		t.Fatal(err)
 	}

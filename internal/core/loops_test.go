@@ -44,7 +44,10 @@ func TestLoopsHoistedWithoutArtificialDataflow(t *testing.T) {
 	if got := core.TotalCost(core.ExecCountModel{}, seed); got != 180 {
 		t.Fatalf("seed cost = %d, want 180", got)
 	}
-	final, _ := core.Hierarchical(f, tr, seed, core.ExecCountModel{})
+	final, _, err := core.Hierarchical(f, tr, seed, core.ExecCountModel{})
+	if err != nil {
+		t.Fatal(err)
+	}
 	if err := core.ValidateSets(f, final); err != nil {
 		t.Fatal(err)
 	}
@@ -90,7 +93,10 @@ func TestColdLoopStaysLocal(t *testing.T) {
 		t.Fatal(err)
 	}
 	seed := shrinkwrap.Compute(f, shrinkwrap.Seed)
-	final, _ := core.Hierarchical(f, tr, seed, core.ExecCountModel{})
+	final, _, err := core.Hierarchical(f, tr, seed, core.ExecCountModel{})
+	if err != nil {
+		t.Fatal(err)
+	}
 	if err := core.ValidateSets(f, final); err != nil {
 		t.Fatal(err)
 	}
@@ -119,7 +125,10 @@ func TestChowVsHierarchicalOnHotLoop(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	hier, _ := core.Hierarchical(f, tr, shrinkwrap.Compute(f, shrinkwrap.Seed), m)
+	hier, _, err := core.Hierarchical(f, tr, shrinkwrap.Compute(f, shrinkwrap.Seed), m)
+	if err != nil {
+		t.Fatal(err)
+	}
 	hc := core.TotalCost(m, hier)
 	if chow != 20 || hc != 20 {
 		t.Errorf("chow = %d, hierarchical = %d, want both 20", chow, hc)
@@ -136,7 +145,10 @@ func TestApplyAndRunLoopFunction(t *testing.T) {
 		t.Fatal(err)
 	}
 	seed := shrinkwrap.Compute(f, shrinkwrap.Seed)
-	final, _ := core.Hierarchical(f, tr, seed, core.JumpEdgeModel{})
+	final, _, err := core.Hierarchical(f, tr, seed, core.JumpEdgeModel{})
+	if err != nil {
+		t.Fatal(err)
+	}
 	if err := core.Apply(f, final); err != nil {
 		t.Fatal(err)
 	}

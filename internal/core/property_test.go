@@ -73,7 +73,10 @@ func TestPropertyAllStrategiesValid(t *testing.T) {
 			t.Fatalf("%s: %v", f.Name, err)
 		}
 		for _, m := range []core.CostModel{core.ExecCountModel{}, core.JumpEdgeModel{}} {
-			final, _ := core.Hierarchical(f, tr, seed, m)
+			final, _, err := core.Hierarchical(f, tr, seed, m)
+			if err != nil {
+				t.Fatal(err)
+			}
 			if err := core.ValidateSets(f, final); err != nil {
 				t.Errorf("%s hierarchical(%s): %v", f.Name, m.Name(), err)
 			}
@@ -92,7 +95,10 @@ func TestPropertyNeverWorse(t *testing.T) {
 		}
 		seed := shrinkwrap.Compute(f, shrinkwrap.Seed)
 		for _, m := range []core.CostModel{core.ExecCountModel{}, core.JumpEdgeModel{}} {
-			final, _ := core.Hierarchical(f, tr, seed, m)
+			final, _, err := core.Hierarchical(f, tr, seed, m)
+			if err != nil {
+				t.Fatal(err)
+			}
 			opt := core.TotalCost(m, final)
 			if ee := core.TotalCost(m, core.EntryExit(f)); opt > ee {
 				t.Errorf("%s %s: hierarchical %d > entry/exit %d", f.Name, m.Name(), opt, ee)
@@ -126,7 +132,10 @@ func TestPropertyHierarchyOptimal(t *testing.T) {
 			continue // keep the cross product tractable
 		}
 		m := core.ExecCountModel{}
-		final, _ := core.Hierarchical(f, tr, seed, m)
+		final, _, err := core.Hierarchical(f, tr, seed, m)
+		if err != nil {
+			t.Fatal(err)
+		}
 		got := core.TotalCost(m, final)
 
 		best := exhaustiveBest(f, tr, seed, m)
@@ -229,7 +238,10 @@ func TestPropertyApplyPreservesCFG(t *testing.T) {
 			t.Fatalf("%s: %v", f.Name, err)
 		}
 		seed := shrinkwrap.Compute(clone, shrinkwrap.Seed)
-		final, _ := core.Hierarchical(clone, tr, seed, core.JumpEdgeModel{})
+		final, _, err := core.Hierarchical(clone, tr, seed, core.JumpEdgeModel{})
+		if err != nil {
+			t.Fatal(err)
+		}
 		if err := core.Apply(clone, final); err != nil {
 			t.Fatalf("%s: apply: %v", f.Name, err)
 		}

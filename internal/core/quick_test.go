@@ -65,7 +65,10 @@ func TestQuickPlacementInvariants(t *testing.T) {
 		}
 		ee := core.EntryExit(f)
 		for _, m := range []core.CostModel{core.ExecCountModel{}, core.JumpEdgeModel{}} {
-			final, _ := core.Hierarchical(f, tr, seedSets, m)
+			final, _, err := core.Hierarchical(f, tr, seedSets, m)
+			if err != nil {
+				t.Fatal(err)
+			}
 			if err := core.ValidateSets(f, final); err != nil {
 				t.Logf("seed %x: hierarchical(%s) invalid: %v", seed, m.Name(), err)
 				return false
@@ -101,7 +104,10 @@ func TestQuickApplyVerifies(t *testing.T) {
 			return false
 		}
 		seedSets := shrinkwrap.Compute(f, shrinkwrap.Seed)
-		final, _ := core.Hierarchical(f, tr, seedSets, core.JumpEdgeModel{})
+		final, _, err := core.Hierarchical(f, tr, seedSets, core.JumpEdgeModel{})
+		if err != nil {
+			t.Fatal(err)
+		}
 		if err := core.Apply(f, final); err != nil {
 			t.Logf("seed %x: apply: %v", seed, err)
 			return false

@@ -1,0 +1,84 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/ir"
+)
+
+// TranslateSets remaps save/restore sets computed on src onto dst, a
+// structural clone of src (same block layout order and per-block
+// successor order, as ir.Func.Clone and a Print/Parse round trip both
+// produce). It lets the evaluation pipelines compute every strategy's
+// sets once on a shared base — building each analysis once — and then
+// apply them to per-strategy clones, instead of redoing the full
+// analysis stack per clone. The input sets are not modified.
+func TranslateSets(sets []*Set, src, dst *ir.Func) ([]*Set, error) {
+	if len(src.Blocks) != len(dst.Blocks) {
+		return nil, fmt.Errorf("core.TranslateSets(%s): %d blocks in source, %d in destination",
+			src.Name, len(src.Blocks), len(dst.Blocks))
+	}
+	pos := make(map[*ir.Block]int, len(src.Blocks))
+	for i, b := range src.Blocks {
+		pos[b] = i
+		db := dst.Blocks[i]
+		if db.Name != b.Name || len(db.Succs) != len(b.Succs) {
+			return nil, fmt.Errorf("core.TranslateSets(%s): destination is not a structural clone at block %s",
+				src.Name, b.Name)
+		}
+		for j, e := range b.Succs {
+			if db.Succs[j].To.Name != e.To.Name {
+				return nil, fmt.Errorf("core.TranslateSets(%s): destination successor order differs at block %s (edge %d: %s vs %s)",
+					src.Name, b.Name, j, db.Succs[j].To.Name, e.To.Name)
+			}
+		}
+	}
+	mapLoc := func(l Location) (Location, error) {
+		switch l.Kind {
+		case BlockHead, BlockTail:
+			i, ok := pos[l.Block]
+			if !ok {
+				return Location{}, fmt.Errorf("core.TranslateSets(%s): block %s is not in the source layout",
+					src.Name, l.Block.Name)
+			}
+			l.Block = dst.Blocks[i]
+			return l, nil
+		default: // OnEdge
+			i, ok := pos[l.Edge.From]
+			if !ok {
+				return Location{}, fmt.Errorf("core.TranslateSets(%s): edge source %s is not in the source layout",
+					src.Name, l.Edge.From.Name)
+			}
+			for j, e := range src.Blocks[i].Succs {
+				if e == l.Edge {
+					l.Edge = dst.Blocks[i].Succs[j]
+					return l, nil
+				}
+			}
+			return Location{}, fmt.Errorf("core.TranslateSets(%s): edge %s->%s is not in the source CFG",
+				src.Name, l.Edge.From.Name, l.Edge.To.Name)
+		}
+	}
+	out := make([]*Set, len(sets))
+	for si, s := range sets {
+		ns := &Set{Reg: s.Reg, Seed: s.Seed}
+		ns.Saves = make([]Location, len(s.Saves))
+		for i, l := range s.Saves {
+			nl, err := mapLoc(l)
+			if err != nil {
+				return nil, err
+			}
+			ns.Saves[i] = nl
+		}
+		ns.Restores = make([]Location, len(s.Restores))
+		for i, l := range s.Restores {
+			nl, err := mapLoc(l)
+			if err != nil {
+				return nil, err
+			}
+			ns.Restores[i] = nl
+		}
+		out[si] = ns
+	}
+	return out, nil
+}

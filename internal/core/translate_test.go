@@ -1,0 +1,92 @@
+package core_test
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/ir"
+)
+
+// branchy builds a function with a two-way branch (so edge locations
+// and successor order are meaningful) and one callee-saved register.
+func branchy(t *testing.T) *ir.Func {
+	t.Helper()
+	b := ir.NewBuilder("f", 1)
+	b.Block("entry")
+	left := b.F.NewBlock("left")
+	right := b.F.NewBlock("right")
+	join := b.F.NewBlock("join")
+	b.Br(b.F.Params[0], left, right, 3, 4)
+	b.SetCurrent(left)
+	b.Jmp(join, 3)
+	b.SetCurrent(right)
+	b.Jmp(join, 4)
+	b.SetCurrent(join)
+	b.Ret(b.F.Params[0])
+	f := b.Finish()
+	if err := ir.Verify(f); err != nil {
+		t.Fatal(err)
+	}
+	return f
+}
+
+// TestTranslateSets: locations survive a Clone translation pointing at
+// the equivalent dst blocks and edges.
+func TestTranslateSets(t *testing.T) {
+	f := branchy(t)
+	entry := f.Entry
+	sets := []*core.Set{{
+		Reg:      ir.Reg(3),
+		Saves:    []core.Location{core.HeadLoc(entry)},
+		Restores: []core.Location{{Kind: core.OnEdge, Edge: entry.Succs[1], JumpSharers: 2}},
+		Seed:     true,
+	}}
+	clone := f.Clone()
+	got, err := core.TranslateSets(sets, f, clone)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got[0].Saves[0].Block != clone.Entry {
+		t.Error("head location not remapped to the clone's entry")
+	}
+	r := got[0].Restores[0]
+	if r.Edge != clone.Entry.Succs[1] {
+		t.Error("edge location not remapped to the clone's matching edge")
+	}
+	if r.JumpSharers != 2 || !got[0].Seed {
+		t.Error("JumpSharers/Seed not preserved")
+	}
+	if sets[0].Restores[0].Edge != entry.Succs[1] {
+		t.Error("input sets mutated")
+	}
+}
+
+// TestTranslateSetsRejectsNonClones: a destination that is not a
+// structural clone — wrong block count, renamed block, or permuted
+// successor order — must be rejected, never silently misplaced.
+func TestTranslateSetsRejectsNonClones(t *testing.T) {
+	f := branchy(t)
+	sets := []*core.Set{{
+		Reg:   ir.Reg(3),
+		Saves: []core.Location{{Kind: core.OnEdge, Edge: f.Entry.Succs[0]}},
+	}}
+
+	short := f.Clone()
+	short.Blocks = short.Blocks[:len(short.Blocks)-1]
+	if _, err := core.TranslateSets(sets, f, short); err == nil {
+		t.Error("block-count mismatch accepted")
+	}
+
+	renamed := f.Clone()
+	renamed.Blocks[1].Name = "other"
+	if _, err := core.TranslateSets(sets, f, renamed); err == nil {
+		t.Error("renamed block accepted")
+	}
+
+	swapped := f.Clone()
+	succs := swapped.Entry.Succs
+	succs[0], succs[1] = succs[1], succs[0]
+	if _, err := core.TranslateSets(sets, f, swapped); err == nil {
+		t.Error("permuted successor order accepted — edge locations would be remapped to the wrong edges")
+	}
+}

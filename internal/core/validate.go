@@ -24,8 +24,14 @@ import (
 // function. All simulation state is local to the call, so concurrent
 // validation of distinct functions is safe.
 func ValidateSets(f *ir.Func, sets []*Set) error {
+	return ValidateSetsLive(f, sets, dataflow.ComputeLiveness(f))
+}
+
+// ValidateSetsLive is ValidateSets over a caller-provided liveness
+// solution for f, so callers holding one (the shared analysis layer)
+// do not pay for a rebuild. lv must describe f's current shape.
+func ValidateSetsLive(f *ir.Func, sets []*Set, lv *dataflow.Liveness) error {
 	var errs []error
-	lv := dataflow.ComputeLiveness(f)
 	for _, reg := range f.UsedCalleeSaved {
 		var regSets []*Set
 		for _, s := range sets {

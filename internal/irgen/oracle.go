@@ -3,6 +3,7 @@ package irgen
 import (
 	"fmt"
 
+	"repro/internal/analysis"
 	"repro/internal/core"
 	"repro/internal/ir"
 	"repro/internal/irtext"
@@ -153,12 +154,18 @@ func Check(prog *ir.Program, opts Options) *Report {
 	var values [strategy.Count]int64
 	var ran [strategy.Count]bool
 
+	// All five strategies compute their sets on the shared allocated
+	// base through one analysis cache — liveness, dominators, loops,
+	// PST, and the shrink-wrap seed are built once per function instead
+	// of once per strategy — then each strategy's sets are translated
+	// onto its own clone for the mutation and the measurement run.
+	cache := analysis.NewCache()
 	for _, s := range strategy.All {
 		execCost[s] = make(map[string]int64, len(placed))
 		jumpCost[s] = make(map[string]int64, len(placed))
 		clone := base.Clone()
 		ok := true
-		for _, f := range strategy.NeedsPlacement(clone) {
+		for _, f := range placed {
 			var override core.CostModel
 			switch s {
 			case strategy.HierarchicalExec:
@@ -166,7 +173,8 @@ func Check(prog *ir.Program, opts Options) *Report {
 			case strategy.HierarchicalJump:
 				override = opts.JumpModel
 			}
-			sets, err := strategy.ComputeWithModel(f, s, override)
+			info := cache.For(f)
+			sets, err := strategy.ComputeCachedWithModel(f, s, info, override)
 			if err != nil {
 				r.violate("verify-placed", s, "%s: compute: %v", f.Name, err)
 				ok = false
@@ -174,12 +182,19 @@ func Check(prog *ir.Program, opts Options) *Report {
 			}
 			execCost[s][f.Name] = core.TotalCost(core.ExecCountModel{}, sets)
 			jumpCost[s][f.Name] = core.TotalCost(core.JumpEdgeModel{}, sets)
-			if err := core.ValidateSets(f, sets); err != nil {
+			if err := core.ValidateSetsLive(f, sets, info.Liveness()); err != nil {
 				r.violate("verify-placed", s, "%s: %v", f.Name, err)
 				ok = false
 				break
 			}
-			if err := core.Apply(f, sets); err != nil {
+			cf := clone.Func(f.Name)
+			csets, err := core.TranslateSets(sets, f, cf)
+			if err != nil {
+				r.violate("verify-placed", s, "%s: translate: %v", f.Name, err)
+				ok = false
+				break
+			}
+			if err := core.Apply(cf, csets); err != nil {
 				r.violate("verify-placed", s, "%s: apply: %v", f.Name, err)
 				ok = false
 				break

@@ -123,8 +123,14 @@ func TestAlignmentNarrowsCostModelGap(t *testing.T) {
 				}
 				seed := shrinkwrap.Compute(f, shrinkwrap.Seed)
 				jm := core.JumpEdgeModel{}
-				finalJ, _ := core.Hierarchical(f, tr, seed, jm)
-				finalE, _ := core.Hierarchical(f, tr, seed, core.ExecCountModel{})
+				finalJ, _, err := core.Hierarchical(f, tr, seed, jm)
+				if err != nil {
+					t.Fatal(err)
+				}
+				finalE, _, err := core.Hierarchical(f, tr, seed, core.ExecCountModel{})
+				if err != nil {
+					t.Fatal(err)
+				}
 				// Evaluate both results under the jump model: the gap is
 				// how much the exec-model placement overpays for jumps.
 				cj := core.TotalCost(jm, finalJ)

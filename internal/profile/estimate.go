@@ -1,7 +1,7 @@
 package profile
 
 import (
-	"repro/internal/cfg"
+	"repro/internal/analysis"
 	"repro/internal/ir"
 )
 
@@ -15,8 +15,17 @@ import (
 // win survives static estimation (see the estimate-vs-profile
 // experiment in internal/bench).
 func Estimate(f *ir.Func, baseScale, loopFactor int64) {
-	dom := cfg.Dominators(f)
-	loops := cfg.FindLoops(f, dom)
+	EstimateInfo(analysis.For(f), baseScale, loopFactor)
+}
+
+// EstimateInfo is Estimate over the shared analysis layer: the
+// dominator tree and loop forest come from info instead of being
+// rebuilt. Estimation only rewrites edge weights — no memoized
+// structural analysis depends on those — so info stays valid.
+func EstimateInfo(info *analysis.Info, baseScale, loopFactor int64) {
+	f := info.Func()
+	dom := info.Dom()
+	loops := info.Loops()
 
 	// Block frequency: baseScale * loopFactor^depth.
 	freq := make([]int64, len(f.Blocks))
@@ -67,7 +76,16 @@ func Estimate(f *ir.Func, baseScale, loopFactor int64) {
 // EstimateProgram applies Estimate to every function, scaling each by
 // a uniform invocation count.
 func EstimateProgram(p *ir.Program, baseScale, loopFactor int64) {
+	EstimateProgramCached(p, baseScale, loopFactor, nil)
+}
+
+// EstimateProgramCached is EstimateProgram over a shared analysis
+// cache: cache may be nil (no sharing); passing the pipeline's
+// analysis.Cache lets later passes reuse the dominator trees and loop
+// forests estimation builds. No in-repo caller passes one yet — it is
+// the extension point for the ROADMAP's cross-run reuse item.
+func EstimateProgramCached(p *ir.Program, baseScale, loopFactor int64, cache *analysis.Cache) {
 	for _, f := range p.FuncsInOrder() {
-		Estimate(f, baseScale, loopFactor)
+		EstimateInfo(cache.For(f), baseScale, loopFactor)
 	}
 }

@@ -43,28 +43,64 @@ func (m Mode) String() string {
 	return "shrinkwrap-seed"
 }
 
+// Inputs optionally carries prebuilt analyses so a caller that already
+// holds them (the shared analysis layer, internal/analysis) does not
+// pay for a rebuild. Nil fields are computed on demand.
+type Inputs struct {
+	// Liveness is the function's liveness solution.
+	Liveness *dataflow.Liveness
+	// Loops is the natural loop forest (consumed by Original mode
+	// only).
+	Loops *cfg.LoopForest
+	// Busy, if non-nil, supplies the per-register busy-block mask. The
+	// returned slice is treated as read-only: Original mode copies it
+	// before propagating artificial data flow.
+	Busy func(ir.Reg) []bool
+}
+
 // Compute returns the save/restore sets for every register in
 // f.UsedCalleeSaved under the chosen mode. Jump-cost sharers are
 // stamped on the result (relevant to the jump-edge cost model).
 func Compute(f *ir.Func, mode Mode) []*core.Set {
-	lv := dataflow.ComputeLiveness(f)
-	var loops *cfg.LoopForest
-	if mode == Original {
+	return ComputeWith(f, mode, Inputs{})
+}
+
+// ComputeWith is Compute over caller-provided analyses.
+func ComputeWith(f *ir.Func, mode Mode, in Inputs) []*core.Set {
+	lv := in.Liveness
+	if lv == nil {
+		lv = dataflow.ComputeLiveness(f)
+	}
+	loops := in.Loops
+	if mode == Original && loops == nil {
 		dom := cfg.Dominators(f)
 		loops = cfg.FindLoops(f, dom)
 	}
 	var sets []*core.Set
 	for _, reg := range f.UsedCalleeSaved {
-		sets = append(sets, computeReg(f, reg, mode, lv, loops)...)
+		var busy []bool
+		owned := true
+		if in.Busy != nil {
+			busy = in.Busy(reg)
+			owned = false
+		} else {
+			busy = BusyBlocks(f, reg, lv)
+		}
+		sets = append(sets, computeReg(f, reg, mode, busy, owned, loops)...)
 	}
 	core.AssignJumpSharers(sets)
 	return sets
 }
 
-// computeReg runs the analysis for one register.
-func computeReg(f *ir.Func, reg ir.Reg, mode Mode, lv *dataflow.Liveness, loops *cfg.LoopForest) []*core.Set {
-	busy := busyBlocks(f, reg, lv)
+// computeReg runs the analysis for one register. busy is the
+// register's busy-block mask; owned reports whether computeReg may
+// mutate it in place (Original mode propagates artificial data flow
+// through it).
+func computeReg(f *ir.Func, reg ir.Reg, mode Mode, busy []bool, owned bool, loops *cfg.LoopForest) []*core.Set {
 	if mode == Original {
+		if !owned {
+			busy = append([]bool(nil), busy...)
+		}
 		for {
 			maskLoops(f, busy, loops)
 			sets := placeSets(f, reg, busy, mode)
@@ -77,10 +113,10 @@ func computeReg(f *ir.Func, reg ir.Reg, mode Mode, lv *dataflow.Liveness, loops 
 	return placeSets(f, reg, busy, mode)
 }
 
-// busyBlocks marks blocks where the register is busy: it is referenced
+// BusyBlocks marks blocks where the register is busy: it is referenced
 // by an instruction, or the allocated value is live into the block
 // (covering gap blocks between a definition and a later use).
-func busyBlocks(f *ir.Func, reg ir.Reg, lv *dataflow.Liveness) []bool {
+func BusyBlocks(f *ir.Func, reg ir.Reg, lv *dataflow.Liveness) []bool {
 	busy := make([]bool, len(f.Blocks))
 	var buf []ir.Reg
 	for _, b := range f.Blocks {

@@ -10,10 +10,10 @@ package strategy
 import (
 	"fmt"
 
+	"repro/internal/analysis"
 	"repro/internal/core"
 	"repro/internal/ir"
 	"repro/internal/par"
-	"repro/internal/pst"
 	"repro/internal/shrinkwrap"
 )
 
@@ -81,9 +81,12 @@ func (s Strategy) Model() core.CostModel {
 }
 
 // Compute returns the strategy's save/restore sets for one allocated
-// function. The function is not mutated.
+// function, building every analysis from scratch. The function is not
+// mutated. It is the thin uncached path; callers evaluating several
+// strategies (or validating afterwards) should share an analysis.Info
+// via ComputeCached or ComputeAll instead.
 func Compute(f *ir.Func, s Strategy) ([]*core.Set, error) {
-	return ComputeWithModel(f, s, nil)
+	return ComputeCachedWithModel(f, s, nil, nil)
 }
 
 // ComputeWithModel is Compute with the hierarchical strategies' cost
@@ -91,39 +94,99 @@ func Compute(f *ir.Func, s Strategy) ([]*core.Set, error) {
 // override to prove it can catch a broken model; every production
 // caller passes nil and gets the paper's models.
 func ComputeWithModel(f *ir.Func, s Strategy, m core.CostModel) ([]*core.Set, error) {
+	return ComputeCachedWithModel(f, s, nil, m)
+}
+
+// ComputeCached is Compute over the shared analysis layer: liveness,
+// dominators, loops, the PST, and the shrink-wrap seed are taken from
+// info (built on first use) instead of being rebuilt per call.
+func ComputeCached(f *ir.Func, s Strategy, info *analysis.Info) ([]*core.Set, error) {
+	return ComputeCachedWithModel(f, s, info, nil)
+}
+
+// ComputeCachedWithModel is the general form: cached analyses plus an
+// optional cost model override for the hierarchical strategies. A nil
+// info degrades to a throwaway analysis build, reproducing the
+// uncached path.
+func ComputeCachedWithModel(f *ir.Func, s Strategy, info *analysis.Info, m core.CostModel) ([]*core.Set, error) {
+	if info == nil {
+		info = analysis.For(f)
+	}
 	switch s {
 	case EntryExit:
 		return core.EntryExit(f), nil
 	case Shrinkwrap:
-		return shrinkwrap.Compute(f, shrinkwrap.Original), nil
+		return shrinkwrap.ComputeWith(f, shrinkwrap.Original, shrinkwrap.Inputs{
+			Liveness: info.Liveness(),
+			Loops:    info.Loops(),
+			Busy:     info.BusyBlocks,
+		}), nil
 	case ShrinkwrapSeed:
-		return shrinkwrap.Compute(f, shrinkwrap.Seed), nil
+		// The memoized sets are shared with the hierarchical seeds, so
+		// hand the caller its own top-level slice.
+		return append([]*core.Set(nil), info.ShrinkwrapSeed()...), nil
 	case HierarchicalExec, HierarchicalJump:
-		t, err := pst.Build(f)
+		t, err := info.PST()
 		if err != nil {
 			return nil, err
 		}
-		seed := shrinkwrap.Compute(f, shrinkwrap.Seed)
 		if m == nil {
 			m = s.Model()
 		}
-		sets, _ := core.Hierarchical(f, t, seed, m)
+		sets, _, err := core.Hierarchical(f, t, info.ShrinkwrapSeed(), m)
+		if err != nil {
+			return nil, err
+		}
 		return sets, nil
 	}
 	return nil, fmt.Errorf("strategy: unknown strategy %d", int(s))
 }
 
+// ComputeAll returns every strategy's save/restore sets for one
+// allocated function, indexed by Strategy, building each underlying
+// analysis at most once: all five strategies share info's liveness,
+// dominators, loops, PST, and shrink-wrap seed. The function is not
+// mutated.
+func ComputeAll(f *ir.Func, info *analysis.Info) ([Count][]*core.Set, error) {
+	var out [Count][]*core.Set
+	if info == nil {
+		info = analysis.For(f)
+	}
+	for _, s := range All {
+		sets, err := ComputeCached(f, s, info)
+		if err != nil {
+			return out, fmt.Errorf("%s: %w", s, err)
+		}
+		out[s] = sets
+	}
+	return out, nil
+}
+
 // Place computes the strategy's sets for f, validates them, and
 // applies them (inserting save/restore code and jump blocks).
 func Place(f *ir.Func, s Strategy) error {
-	sets, err := Compute(f, s)
+	return PlaceCached(f, s, nil)
+}
+
+// PlaceCached is Place over the shared analysis layer: the placement
+// computation and the validation reuse info's analyses, and info is
+// invalidated after Apply mutates the function, so no caller can read
+// stale results afterwards.
+func PlaceCached(f *ir.Func, s Strategy, info *analysis.Info) error {
+	if info == nil {
+		info = analysis.For(f)
+	}
+	sets, err := ComputeCached(f, s, info)
 	if err != nil {
 		return err
 	}
-	if err := core.ValidateSets(f, sets); err != nil {
+	if err := core.ValidateSetsLive(f, sets, info.Liveness()); err != nil {
 		return err
 	}
-	return core.Apply(f, sets)
+	// Apply mutates f even on failure, so invalidate unconditionally.
+	err = core.Apply(f, sets)
+	info.Invalidate()
+	return err
 }
 
 // PlaceProgram applies the strategy to every function of prog that
@@ -131,9 +194,17 @@ func Place(f *ir.Func, s Strategy) error {
 // pipelines (PST build, seeding, traversal, validation, apply) across
 // a bounded worker pool. parallelism <= 0 means GOMAXPROCS.
 func PlaceProgram(prog *ir.Program, s Strategy, parallelism int) error {
+	return PlaceProgramCached(prog, s, parallelism, nil)
+}
+
+// PlaceProgramCached is PlaceProgram over a shared analysis cache (nil
+// degrades to unshared per-function builds). Each worker touches only
+// its own function's Info, so a program-wide cache is safe to share
+// across the pool.
+func PlaceProgramCached(prog *ir.Program, s Strategy, parallelism int, cache *analysis.Cache) error {
 	funcs := NeedsPlacement(prog)
 	return par.Do(len(funcs), parallelism, func(i int) error {
-		if err := Place(funcs[i], s); err != nil {
+		if err := PlaceCached(funcs[i], s, cache.For(funcs[i])); err != nil {
 			return fmt.Errorf("%s: %w", funcs[i].Name, err)
 		}
 		return nil

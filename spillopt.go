@@ -21,13 +21,13 @@ package spillopt
 import (
 	"fmt"
 
+	"repro/internal/analysis"
 	"repro/internal/core"
 	"repro/internal/dot"
 	"repro/internal/ir"
 	"repro/internal/irtext"
 	"repro/internal/machine"
 	"repro/internal/profile"
-	"repro/internal/pst"
 	"repro/internal/regalloc"
 	"repro/internal/strategy"
 	"repro/internal/vm"
@@ -93,6 +93,11 @@ type Program struct {
 	prog *ir.Program
 	mach *machine.Desc
 
+	// cache shares the per-function analyses (liveness, dominators,
+	// loops, PST, shrink-wrap seed) across the pipeline stages and the
+	// inspection helpers; mutating stages invalidate it.
+	cache *analysis.Cache
+
 	// Parallelism bounds the worker pool used by Allocate and Place
 	// for per-function work (functions are independent after parsing).
 	// Zero or negative means GOMAXPROCS; 1 forces the serial path.
@@ -118,7 +123,7 @@ func ParseProgram(src string) (*Program, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Program{prog: p, mach: machine.PARISC()}, nil
+	return &Program{prog: p, mach: machine.PARISC(), cache: analysis.NewCache()}, nil
 }
 
 // Machine returns the target description (PA-RISC-like: 24 allocatable
@@ -163,6 +168,9 @@ func (p *Program) Allocate() error {
 	if _, err := regalloc.AllocateProgramParallel(p.prog, p.mach, p.Parallelism); err != nil {
 		return err
 	}
+	// Allocation rewrote instructions (spill code, physical registers),
+	// so every memoized analysis is stale.
+	p.cache.InvalidateAll()
 	p.allocated = true
 	return nil
 }
@@ -180,7 +188,7 @@ func (p *Program) Place(s Strategy) error {
 	// Each placement reads and mutates only its own function, so the
 	// per-function pipeline (PST build, shrink-wrap seed, hierarchical
 	// traversal, validation, apply) fans out across the pool.
-	if err := strategy.PlaceProgram(p.prog, computeStrategy(s), p.Parallelism); err != nil {
+	if err := strategy.PlaceProgramCached(p.prog, computeStrategy(s), p.Parallelism, p.cache); err != nil {
 		return err
 	}
 	p.placed = true
@@ -211,7 +219,7 @@ func (p *Program) PlacementCost(funcName string, s Strategy) (int64, error) {
 	if !p.allocated && len(f.UsedCalleeSaved) == 0 {
 		return 0, fmt.Errorf("spillopt: %s not allocated", funcName)
 	}
-	sets, err := strategy.Compute(f, computeStrategy(s))
+	sets, err := strategy.ComputeCached(f, computeStrategy(s), p.cache.For(f))
 	if err != nil {
 		return 0, err
 	}
@@ -261,7 +269,7 @@ func (p *Program) DotPST(funcName string) (string, error) {
 	if f == nil {
 		return "", fmt.Errorf("spillopt: no function %q", funcName)
 	}
-	t, err := pst.Build(f)
+	t, err := p.cache.For(f).PST()
 	if err != nil {
 		return "", err
 	}
@@ -282,6 +290,7 @@ func (p *Program) Clone() *Program {
 	return &Program{
 		prog:        p.prog.Clone(),
 		mach:        p.mach,
+		cache:       analysis.NewCache(),
 		Parallelism: p.Parallelism,
 		UseLegacyVM: p.UseLegacyVM,
 		profiled:    p.profiled,
