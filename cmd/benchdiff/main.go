@@ -1,0 +1,101 @@
+// Command benchdiff is the CI benchmark-regression gate: it re-runs
+// the standing benchmarks in-process and compares them against the
+// committed trajectory records, failing (exit 1) on a regression.
+//
+//	benchdiff -vm BENCH_vm.json             # engine throughput gate
+//	benchdiff -machines BENCH_machines.json # multi-machine sweep gate
+//	benchdiff -vm ... -machines ... -threshold 15
+//	benchdiff -machines ... -inject 20      # self-test: must fail
+//
+// The VM gate compares the bytecode-over-tree speedup ratio (host
+// speed cancels) and the deterministic per-run instruction counts; the
+// machines gate compares the deterministic weighted overheads of every
+// (machine preset, strategy) pair and the analysis build counters that
+// prove the sweep shares analyses across presets. -inject degrades the
+// fresh numbers by the given percentage so the CI job can prove the
+// gate actually trips.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/bench"
+	"repro/internal/workload"
+)
+
+func main() {
+	vmPath := flag.String("vm", "", "committed BENCH_vm.json to gate against")
+	machPath := flag.String("machines", "", "committed BENCH_machines.json to gate against")
+	threshold := flag.Float64("threshold", 15, "allowed regression in percent")
+	reps := flag.Int("reps", 1, "VM executions per benchmark per engine for the fresh -vm run")
+	jobs := flag.Int("j", 0, "worker pool size (0 = GOMAXPROCS)")
+	inject := flag.Float64("inject", 0, "artificially degrade the fresh numbers by this percentage (gate self-test)")
+	flag.Parse()
+
+	if *vmPath == "" && *machPath == "" {
+		fmt.Fprintln(os.Stderr, "benchdiff: nothing to compare; pass -vm and/or -machines")
+		os.Exit(2)
+	}
+
+	var findings []string
+
+	if *vmPath != "" {
+		var committed bench.VMBench
+		readJSON(*vmPath, &committed)
+		fresh, err := bench.BenchVM(workload.SPECInt2000(), *reps)
+		if err != nil {
+			fatal(err)
+		}
+		if *inject > 0 {
+			bench.InjectVMRegression(fresh, *inject)
+		}
+		fmt.Printf("vm: committed speedup %.2fx, fresh %.2fx\n", committed.Speedup, fresh.Speedup)
+		findings = append(findings, bench.CompareVM(&committed, fresh, *threshold)...)
+	}
+
+	if *machPath != "" {
+		var committed bench.SweepRecord
+		readJSON(*machPath, &committed)
+		fresh, err := bench.SweepSuite(*jobs)
+		if err != nil {
+			fatal(err)
+		}
+		if *inject > 0 {
+			bench.InjectSweepRegression(fresh, *inject)
+		}
+		for _, m := range fresh.Machines {
+			fmt.Printf("machines: %-14s winner %-14s", m.Name, m.Winner)
+			for _, s := range m.Strategies {
+				fmt.Printf(" %s=%d", s.Name, s.WeightedOverhead)
+			}
+			fmt.Println()
+		}
+		findings = append(findings, bench.CompareSweep(&committed, fresh, *threshold)...)
+	}
+
+	if len(findings) > 0 {
+		for _, f := range findings {
+			fmt.Fprintf(os.Stderr, "REGRESSION: %s\n", f)
+		}
+		os.Exit(1)
+	}
+	fmt.Println("benchdiff: ok, no regressions")
+}
+
+func readJSON(path string, v any) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		fatal(err)
+	}
+	if err := json.Unmarshal(data, v); err != nil {
+		fatal(fmt.Errorf("%s: %w", path, err))
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "benchdiff: %v\n", err)
+	os.Exit(1)
+}

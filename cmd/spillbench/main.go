@@ -13,6 +13,10 @@
 //	spillbench -engine tree       # measure on the legacy VM engine
 //	spillbench -json BENCH_vm.json  # benchmark the engines themselves
 //	                                # and record the perf trajectory
+//	spillbench -machines all        # sweep every machine cost preset:
+//	                                # per-machine tables + crossover
+//	spillbench -machines all -json BENCH_machines.json
+//	                                # record the sweep for the CI gate
 package main
 
 import (
@@ -21,6 +25,7 @@ import (
 	"os"
 
 	"repro/internal/bench"
+	"repro/internal/machine"
 	"repro/internal/vm"
 	"repro/internal/workload"
 )
@@ -35,14 +40,69 @@ func main() {
 	irgenSeed := flag.Uint64("irgen-seed", 1, "first seed of the appended irgen families")
 	engine := flag.String("engine", "bytecode", "VM engine for the measurement runs: bytecode or tree")
 	unshared := flag.Bool("unshared", false, "disable the shared per-function analysis cache (A/B reference for Table 2 placement times)")
-	jsonOut := flag.String("json", "", "instead of the tables: benchmark both VM engines on the placed suite and write the JSON record here (e.g. BENCH_vm.json)")
+	jsonOut := flag.String("json", "", "instead of the tables: benchmark both VM engines on the placed suite and write the JSON record here (e.g. BENCH_vm.json); with -machines, write the sweep record instead (e.g. BENCH_machines.json)")
 	reps := flag.Int("reps", 3, "with -json: VM executions per benchmark per engine")
+	machines := flag.String("machines", "", "sweep these machine cost presets (comma-separated, or \"all\") and print per-machine tables plus the crossover report")
 	flag.Parse()
 
 	eng, err := vm.ParseEngine(*engine)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "spillbench: %v\n", err)
 		os.Exit(2)
+	}
+
+	suite := func() []bench.Entry {
+		var entries []bench.Entry
+		for _, p := range workload.SPECInt2000() {
+			entries = append(entries, bench.EntryFor(p))
+		}
+		entries = append(entries, bench.GeneratedSuite(*irgenSeed, *irgenN)...)
+		// The filter sees the full suite, so -bench selects generated
+		// entries (e.g. "irgen-3") as readily as SPEC stand-ins.
+		if *only != "" {
+			var filtered []bench.Entry
+			for _, e := range entries {
+				if e.Name == *only {
+					filtered = append(filtered, e)
+				}
+			}
+			if len(filtered) == 0 {
+				fmt.Fprintf(os.Stderr, "spillbench: unknown benchmark %q\n", *only)
+				os.Exit(1)
+			}
+			entries = filtered
+		}
+		return entries
+	}
+
+	if *machines != "" {
+		descs, err := machine.ParsePresets(*machines)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "spillbench: %v\n", err)
+			os.Exit(2)
+		}
+		entries := suite()
+		sw, err := bench.RunSweep(entries, descs, bench.Options{Align: *align, Parallelism: *jobs, Engine: eng})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "spillbench: %v\n", err)
+			os.Exit(1)
+		}
+		if *jsonOut != "" {
+			data, err := sw.Record("SPEC CPU2000 integer stand-ins").JSON()
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "spillbench: %v\n", err)
+				os.Exit(1)
+			}
+			if err := os.WriteFile(*jsonOut, data, 0o644); err != nil {
+				fmt.Fprintf(os.Stderr, "spillbench: %v\n", err)
+				os.Exit(1)
+			}
+			fmt.Printf("sweep of %d machines over %d benchmarks recorded in %s\n",
+				len(descs), len(entries), *jsonOut)
+			return
+		}
+		fmt.Print(bench.SweepTables(sw))
+		return
 	}
 
 	if *jsonOut != "" {
@@ -68,28 +128,7 @@ func main() {
 		return
 	}
 
-	var entries []bench.Entry
-	for _, p := range workload.SPECInt2000() {
-		entries = append(entries, bench.EntryFor(p))
-	}
-	entries = append(entries, bench.GeneratedSuite(*irgenSeed, *irgenN)...)
-	// The filter sees the full suite, so -bench selects generated
-	// entries (e.g. "irgen-3") as readily as SPEC stand-ins.
-	if *only != "" {
-		var filtered []bench.Entry
-		for _, e := range entries {
-			if e.Name == *only {
-				filtered = append(filtered, e)
-			}
-		}
-		if len(filtered) == 0 {
-			fmt.Fprintf(os.Stderr, "spillbench: unknown benchmark %q\n", *only)
-			os.Exit(1)
-		}
-		entries = filtered
-	}
-
-	results, err := bench.RunEntries(entries, bench.Options{Align: *align, Parallelism: *jobs, Engine: eng, Unshared: *unshared})
+	results, err := bench.RunEntries(suite(), bench.Options{Align: *align, Parallelism: *jobs, Engine: eng, Unshared: *unshared})
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "spillbench: %v\n", err)
 		os.Exit(1)

@@ -5,7 +5,7 @@
 //
 // Usage:
 //
-//	spillopt [-strategy hierarchical-jump] [-arg N] [-print] [-compare] prog.ir
+//	spillopt [-strategy hierarchical-jump] [-machine preset] [-arg N] [-print] [-compare] prog.ir
 package main
 
 import (
@@ -31,6 +31,7 @@ func main() {
 	show := flag.Bool("print", false, "print the transformed program")
 	dotFunc := flag.String("dot", "", "print the named function's CFG in Graphviz DOT format and exit")
 	compare := flag.Bool("compare", false, "run every strategy and compare overheads")
+	mach := flag.String("machine", "", "machine cost preset the placement optimizes and the cost column prices (e.g. classic, deep-pipeline; default: the paper's unit-cost machine)")
 	flag.Parse()
 
 	if flag.NArg() != 1 {
@@ -43,14 +44,14 @@ func main() {
 	}
 
 	if *compare {
-		fmt.Printf("%-18s %10s %8s %8s %8s %8s\n",
-			"strategy", "overhead", "saves", "restores", "spill", "jumps")
+		fmt.Printf("%-18s %10s %10s %8s %8s %8s %8s\n",
+			"strategy", "overhead", "cost", "saves", "restores", "spill", "jumps")
 		for _, name := range []string{"entry-exit", "shrinkwrap", "shrinkwrap-seed", "hierarchical-exec", "hierarchical-jump"} {
-			res, err := runOne(string(src), strategies[name], *arg)
+			res, err := runOne(string(src), strategies[name], *arg, *mach)
 			if err != nil {
 				fatal(fmt.Errorf("%s: %w", name, err))
 			}
-			fmt.Printf("%-18s %10d %8d %8d %8d %8d\n", name, res.Overhead,
+			fmt.Printf("%-18s %10d %10d %8d %8d %8d %8d\n", name, res.Overhead, res.Cost,
 				res.Saves, res.Restores, res.SpillLoads+res.SpillStores, res.JumpBlockJumps)
 		}
 		return
@@ -60,7 +61,7 @@ func main() {
 	if !ok {
 		fatal(fmt.Errorf("unknown strategy %q", *strategy))
 	}
-	prog, err := build(string(src), s, *arg)
+	prog, err := build(string(src), s, *arg, *mach)
 	if err != nil {
 		fatal(err)
 	}
@@ -76,18 +77,23 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	fmt.Printf("result=%d instructions=%d overhead=%d (saves=%d restores=%d spill=%d jump=%d)\n",
-		res.Value, res.Instrs, res.Overhead, res.Saves, res.Restores,
+	fmt.Printf("result=%d instructions=%d overhead=%d cost=%d (saves=%d restores=%d spill=%d jump=%d)\n",
+		res.Value, res.Instrs, res.Overhead, res.Cost, res.Saves, res.Restores,
 		res.SpillLoads+res.SpillStores, res.JumpBlockJumps)
 	if *show {
 		fmt.Print(prog.Text())
 	}
 }
 
-func build(src string, s spillopt.Strategy, arg int64) (*spillopt.Program, error) {
+func build(src string, s spillopt.Strategy, arg int64, mach string) (*spillopt.Program, error) {
 	prog, err := spillopt.ParseProgram(src)
 	if err != nil {
 		return nil, err
+	}
+	if mach != "" {
+		if err := prog.UseMachine(mach); err != nil {
+			return nil, err
+		}
 	}
 	if err := prog.Profile(arg); err != nil {
 		return nil, err
@@ -101,8 +107,8 @@ func build(src string, s spillopt.Strategy, arg int64) (*spillopt.Program, error
 	return prog, nil
 }
 
-func runOne(src string, s spillopt.Strategy, arg int64) (*spillopt.Result, error) {
-	prog, err := build(src, s, arg)
+func runOne(src string, s spillopt.Strategy, arg int64, mach string) (*spillopt.Result, error) {
+	prog, err := build(src, s, arg, mach)
 	if err != nil {
 		return nil, err
 	}

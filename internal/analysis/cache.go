@@ -36,6 +36,46 @@ func (c *Cache) For(f *ir.Func) *Info {
 	return info
 }
 
+// Counts sums the cumulative build counters of every memoized Info.
+// With F functions in the cache and no invalidations, the per-function
+// counters (Liveness, Dom, Loops, PST, Seed) are each at most F no
+// matter how many strategies, cost models, or machine descriptions
+// consumed the cache — the multi-machine sweep records this as its
+// proof of no per-machine rebuilds. Busy is per (function, register),
+// so it may legitimately exceed F; the sharing checks exclude it.
+func (c *Cache) Counts() Counts {
+	if c == nil {
+		return Counts{}
+	}
+	c.mu.Lock()
+	infos := make([]*Info, 0, len(c.m))
+	for _, info := range c.m {
+		infos = append(infos, info)
+	}
+	c.mu.Unlock()
+	var total Counts
+	for _, info := range infos {
+		n := info.Counts()
+		total.Liveness += n.Liveness
+		total.Dom += n.Dom
+		total.Loops += n.Loops
+		total.PST += n.PST
+		total.Seed += n.Seed
+		total.Busy += n.Busy
+	}
+	return total
+}
+
+// Len returns the number of memoized per-function Infos.
+func (c *Cache) Len() int {
+	if c == nil {
+		return 0
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.m)
+}
+
 // Invalidate drops the memoized results for f, if any.
 func (c *Cache) Invalidate(f *ir.Func) {
 	if c == nil {

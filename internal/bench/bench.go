@@ -237,7 +237,7 @@ func RunEntry(e Entry, opts Options) (*Result, error) {
 	}
 	funcs := strategy.NeedsPlacement(prog)
 	for _, s := range Strategies {
-		sets, elapsed, err := computeSets(funcs, s, opts.Parallelism, cache)
+		sets, elapsed, err := computeSets(funcs, s, opts.Parallelism, cache, nil)
 		if err != nil {
 			return nil, fmt.Errorf("bench %s: %s: %w", e.Name, s, err)
 		}
@@ -288,7 +288,7 @@ func RunEntry(e Entry, opts Options) (*Result, error) {
 // serial accounting. Analyses shared through cache are charged to the
 // first strategy that builds them, so the timing column keeps its
 // incremental-compile-time meaning under sharing.
-func computeSets(funcs []*ir.Func, s Strategy, parallelism int, cache *analysis.Cache) ([][]*core.Set, time.Duration, error) {
+func computeSets(funcs []*ir.Func, s Strategy, parallelism int, cache *analysis.Cache, d *machine.Desc) ([][]*core.Set, time.Duration, error) {
 	sets := make([][]*core.Set, len(funcs))
 	var mu sync.Mutex
 	var elapsed time.Duration
@@ -296,7 +296,7 @@ func computeSets(funcs []*ir.Func, s Strategy, parallelism int, cache *analysis.
 		f := funcs[i]
 		info := cache.For(f)
 		start := time.Now()
-		fs, err := strategy.ComputeCached(f, s.technique(), info)
+		fs, err := strategy.ComputeCachedFor(f, s.technique(), info, d)
 		if err != nil {
 			return err
 		}
@@ -322,7 +322,7 @@ func computeSets(funcs []*ir.Func, s Strategy, parallelism int, cache *analysis.
 // per-strategy clone-and-translate dance of RunEntry.
 func place(prog *ir.Program, s Strategy, parallelism int) (time.Duration, error) {
 	funcs := strategy.NeedsPlacement(prog)
-	sets, elapsed, err := computeSets(funcs, s, parallelism, analysis.NewCache())
+	sets, elapsed, err := computeSets(funcs, s, parallelism, analysis.NewCache(), nil)
 	if err != nil {
 		return 0, err
 	}

@@ -47,6 +47,21 @@ func TestMeasuredEqualsModeled(t *testing.T) {
 			if measured := v.Stats.Overhead(); measured != modeled {
 				t.Errorf("%s/%s: measured overhead %d != modeled %d", name, s, measured, modeled)
 			}
+			// The same agreement must hold cycle for cycle under every
+			// machine cost preset: the post-apply breakdown priced with
+			// the preset on one side, the VM's weighted accounting on
+			// the other. This pins model pricing and VM pricing to one
+			// cost surface for every overhead class, not just a total.
+			for _, d := range machine.Presets() {
+				var wModeled int64
+				for _, f := range clone.FuncsInOrder() {
+					wModeled += core.Breakdown(f).Cost(d.Costs)
+				}
+				if wMeasured := v.Stats.WeightedOverhead(d.Costs); wMeasured != wModeled {
+					t.Errorf("%s/%s@%s: weighted measured %d != modeled %d",
+						name, s, d.Name, wMeasured, wModeled)
+				}
+			}
 		}
 	}
 }

@@ -45,9 +45,11 @@ func TestEstimatedProfileExperiment(t *testing.T) {
 			clone := prog.Clone()
 			if estimated {
 				// Overwrite the real profile with static estimates
-				// before placement; the VM run below still measures
-				// real dynamic overhead.
-				profile.EstimateProgram(clone, 100, 8)
+				// before placement — drawn from the machine's
+				// estimator parameters, like a compiler without a
+				// profile would; the VM run below still measures real
+				// dynamic overhead.
+				profile.EstimateProgramMachine(clone, mach, nil)
 			}
 			for _, f := range clone.FuncsInOrder() {
 				if len(f.UsedCalleeSaved) == 0 {

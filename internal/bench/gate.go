@@ -1,0 +1,175 @@
+package bench
+
+// gate.go is the benchmark-regression gate behind cmd/benchdiff: it
+// compares a fresh run against the committed BENCH_vm.json /
+// BENCH_machines.json records and reports findings the CI job fails
+// on. The comparison logic lives here, not in the command, so the
+// gate itself is under test — including the proof that an injected
+// regression trips it.
+
+import (
+	"fmt"
+)
+
+// CompareVM diffs a fresh engine benchmark against the committed
+// record. Absolute throughput depends on the host, so the gate
+// compares host-independent quantities:
+//
+//   - the bytecode-over-tree speedup ratio must not regress by more
+//     than thresholdPct percent (both engines run on the same host in
+//     the same process, so the ratio cancels host speed);
+//   - per-run dynamic instruction counts must match the committed
+//     record exactly — they are deterministic, and a drift means the
+//     record is stale (or an engine miscounts).
+func CompareVM(committed, fresh *VMBench, thresholdPct float64) []string {
+	var findings []string
+	if committed.Speedup > 0 {
+		floor := committed.Speedup * (1 - thresholdPct/100)
+		if fresh.Speedup < floor {
+			findings = append(findings, fmt.Sprintf(
+				"vm: bytecode speedup %.2fx regressed more than %.0f%% below committed %.2fx (floor %.2fx)",
+				fresh.Speedup, thresholdPct, committed.Speedup, floor))
+		}
+	}
+	for _, ce := range committed.Engines {
+		fe := findEngine(fresh, ce.Engine)
+		if fe == nil {
+			findings = append(findings, fmt.Sprintf("vm: engine %q missing from fresh run", ce.Engine))
+			continue
+		}
+		if ce.Runs == 0 || fe.Runs == 0 {
+			continue
+		}
+		if ci, fi := ce.Instrs/int64(ce.Runs), fe.Instrs/int64(fe.Runs); ci != fi {
+			findings = append(findings, fmt.Sprintf(
+				"vm: %s executes %d instrs/run, committed record says %d — regenerate BENCH_vm.json if the suite changed",
+				ce.Engine, fi, ci))
+		}
+	}
+	return findings
+}
+
+func findEngine(b *VMBench, name string) *EngineBench {
+	for i := range b.Engines {
+		if b.Engines[i].Engine == name {
+			return &b.Engines[i]
+		}
+	}
+	return nil
+}
+
+// CompareSweep diffs a fresh multi-machine sweep against the committed
+// record. Weighted overheads and modeled costs are deterministic
+// counts, so in a healthy tree fresh equals committed exactly; the
+// threshold only grants slack for intentional small re-tunings, and it
+// cuts both ways — a fresh number more than thresholdPct percent
+// *better* than committed is also a finding, because a stale committed
+// record would otherwise silently widen the regression budget for the
+// next change. Missing machines or strategies, a different benchmark
+// suite, and analysis build counters showing per-machine rebuilds are
+// findings too.
+func CompareSweep(committed, fresh *SweepRecord, thresholdPct float64) []string {
+	var findings []string
+	if !sameSuite(committed, fresh) {
+		findings = append(findings, fmt.Sprintf(
+			"machines: committed record covers suite %v (%d functions), fresh sweep %v (%d functions) — regenerate BENCH_machines.json with the standing suite",
+			committed.Benchmarks, committed.Functions, fresh.Benchmarks, fresh.Functions))
+		return findings
+	}
+	freshMachines := map[string]*SweepMachineRecord{}
+	for i := range fresh.Machines {
+		freshMachines[fresh.Machines[i].Name] = &fresh.Machines[i]
+	}
+	for _, cm := range committed.Machines {
+		fm := freshMachines[cm.Name]
+		if fm == nil {
+			findings = append(findings, fmt.Sprintf("machines: preset %q missing from fresh sweep", cm.Name))
+			continue
+		}
+		freshStrats := map[string]SweepStrategyRecord{}
+		for _, fs := range fm.Strategies {
+			freshStrats[fs.Name] = fs
+		}
+		for _, cs := range cm.Strategies {
+			fs, ok := freshStrats[cs.Name]
+			if !ok {
+				findings = append(findings, fmt.Sprintf("machines: %s/%s missing from fresh sweep", cm.Name, cs.Name))
+				continue
+			}
+			where := cm.Name + "/" + cs.Name
+			findings = append(findings, compareCount(where, "weighted overhead", cs.WeightedOverhead, fs.WeightedOverhead, thresholdPct)...)
+			findings = append(findings, compareCount(where, "modeled cost", cs.Modeled, fs.Modeled, thresholdPct)...)
+		}
+	}
+	// The sharing guarantee: a sweep over N machines must not build any
+	// analysis more than once per function.
+	if n := fresh.Functions; n > 0 {
+		b := fresh.Builds
+		for _, c := range []struct {
+			name  string
+			count int
+		}{
+			{"liveness", b.Liveness}, {"dom", b.Dom}, {"loops", b.Loops},
+			{"pst", b.PST}, {"seed", b.Seed},
+		} {
+			if c.count > n {
+				findings = append(findings, fmt.Sprintf(
+					"machines: %s built %d times for %d functions — per-machine analysis rebuilds crept in",
+					c.name, c.count, n))
+			}
+		}
+	}
+	return findings
+}
+
+// sameSuite reports whether two sweep records cover the same benchmark
+// list and function population — the precondition for comparing their
+// totals at all.
+func sameSuite(a, b *SweepRecord) bool {
+	if a.Functions != b.Functions || len(a.Benchmarks) != len(b.Benchmarks) {
+		return false
+	}
+	for i := range a.Benchmarks {
+		if a.Benchmarks[i] != b.Benchmarks[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// compareCount flags a deterministic counter drifting past the
+// threshold in either direction: up is a regression, down means the
+// committed record is stale and must be regenerated before it quietly
+// raises the regression ceiling.
+func compareCount(where, what string, committed, fresh int64, thresholdPct float64) []string {
+	switch {
+	case float64(fresh) > float64(committed)*(1+thresholdPct/100):
+		return []string{fmt.Sprintf("machines: %s %s %d exceeds committed %d by more than %.0f%%",
+			where, what, fresh, committed, thresholdPct)}
+	case float64(fresh) < float64(committed)*(1-thresholdPct/100):
+		return []string{fmt.Sprintf("machines: %s %s %d improved more than %.0f%% below committed %d — regenerate the committed record",
+			where, what, fresh, thresholdPct, committed)}
+	}
+	return nil
+}
+
+// InjectVMRegression artificially degrades a fresh VM record by pct
+// percent. The CI gate's self-test uses it to prove the gate trips on
+// a regression instead of rubber-stamping everything.
+func InjectVMRegression(b *VMBench, pct float64) {
+	b.Speedup /= 1 + pct/100
+	for i := range b.Engines {
+		b.Engines[i].InstrsPerSec /= 1 + pct/100
+	}
+}
+
+// InjectSweepRegression artificially inflates a fresh sweep's weighted
+// overheads by pct percent, for the same self-test.
+func InjectSweepRegression(r *SweepRecord, pct float64) {
+	for mi := range r.Machines {
+		for si := range r.Machines[mi].Strategies {
+			s := &r.Machines[mi].Strategies[si]
+			s.WeightedOverhead = int64(float64(s.WeightedOverhead) * (1 + pct/100))
+		}
+	}
+}

@@ -1,0 +1,132 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/machine"
+)
+
+func freshSweepRecord(t *testing.T) *SweepRecord {
+	t.Helper()
+	sw, err := RunSweep(sweepEntries(t), machine.Presets(), Options{Parallelism: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sw.Record("test suite")
+}
+
+// TestGatePassesOnIdenticalSweep: a fresh sweep compared against
+// itself must produce no findings — the gate does not cry wolf on a
+// healthy tree.
+func TestGatePassesOnIdenticalSweep(t *testing.T) {
+	rec := freshSweepRecord(t)
+	if findings := CompareSweep(rec, rec, 15); len(findings) != 0 {
+		t.Fatalf("self-comparison produced findings: %v", findings)
+	}
+}
+
+// TestGateCatchesInjectedSweepRegression: inflating the fresh weighted
+// overheads by 20%% must trip a 15%% gate on every machine — the CI
+// job's self-test relies on this. (ISSUE 5 acceptance criterion.)
+func TestGateCatchesInjectedSweepRegression(t *testing.T) {
+	committed := freshSweepRecord(t)
+	fresh := freshSweepRecord(t)
+	InjectSweepRegression(fresh, 20)
+	findings := CompareSweep(committed, fresh, 15)
+	if len(findings) == 0 {
+		t.Fatal("gate passed an injected 20% regression")
+	}
+	// A 20% inflation with a 15% threshold must flag every machine
+	// whose baseline overhead is non-trivial, not just one cell.
+	if len(findings) < len(committed.Machines) {
+		t.Errorf("only %d findings for %d machines: %v", len(findings), len(committed.Machines), findings)
+	}
+}
+
+// TestGateCatchesStaleImprovement: a fresh sweep 20% *better* than the
+// committed record is also a finding — a stale record would silently
+// widen the regression budget for the next change.
+func TestGateCatchesStaleImprovement(t *testing.T) {
+	committed := freshSweepRecord(t)
+	fresh := freshSweepRecord(t)
+	InjectSweepRegression(fresh, -20)
+	findings := CompareSweep(committed, fresh, 15)
+	if len(findings) == 0 {
+		t.Fatal("gate passed a 20% improvement against a stale committed record")
+	}
+}
+
+// TestGateCatchesSuiteMismatch: a committed record built from a
+// different benchmark suite cannot gate anything; the finding must say
+// so instead of reporting misleading per-strategy regressions.
+func TestGateCatchesSuiteMismatch(t *testing.T) {
+	committed := freshSweepRecord(t)
+	fresh := freshSweepRecord(t)
+	fresh.Benchmarks = append(fresh.Benchmarks, "irgen-99")
+	findings := CompareSweep(committed, fresh, 15)
+	if len(findings) != 1 || !strings.Contains(findings[0], "suite") {
+		t.Fatalf("want a single suite-mismatch finding, got %v", findings)
+	}
+}
+
+// TestGateCatchesMissingMachine: a fresh sweep that silently dropped a
+// preset is a finding, not a pass.
+func TestGateCatchesMissingMachine(t *testing.T) {
+	committed := freshSweepRecord(t)
+	fresh := freshSweepRecord(t)
+	fresh.Machines = fresh.Machines[1:]
+	if findings := CompareSweep(committed, fresh, 15); len(findings) == 0 {
+		t.Fatal("gate passed a sweep missing a machine preset")
+	}
+}
+
+// TestGateCatchesAnalysisRebuilds: build counters exceeding the
+// function count mean per-machine rebuilds crept back in; the gate
+// guards the sharing property itself.
+func TestGateCatchesAnalysisRebuilds(t *testing.T) {
+	committed := freshSweepRecord(t)
+	fresh := freshSweepRecord(t)
+	fresh.Builds.Liveness = fresh.Functions*len(machine.Presets()) + 1
+	if findings := CompareSweep(committed, fresh, 15); len(findings) == 0 {
+		t.Fatal("gate passed a sweep with per-machine analysis rebuilds")
+	}
+}
+
+func vmRecord(speedup float64, instrsPerRun int64) *VMBench {
+	return &VMBench{
+		Speedup: speedup,
+		Engines: []EngineBench{
+			{Engine: "bytecode", Runs: 3, Instrs: 3 * instrsPerRun},
+			{Engine: "tree", Runs: 3, Instrs: 3 * instrsPerRun},
+		},
+	}
+}
+
+// TestGateVMSpeedupRatio: the VM gate trips on a speedup-ratio
+// regression past the threshold and stays quiet within it. Ratios are
+// host-independent, so the gate works on any CI runner.
+func TestGateVMSpeedupRatio(t *testing.T) {
+	committed := vmRecord(3.0, 1000)
+	if findings := CompareVM(committed, vmRecord(2.9, 1000), 15); len(findings) != 0 {
+		t.Errorf("3.3%% ratio drop tripped a 15%% gate: %v", findings)
+	}
+	if findings := CompareVM(committed, vmRecord(2.0, 1000), 15); len(findings) == 0 {
+		t.Error("33% ratio drop passed a 15% gate")
+	}
+	fresh := vmRecord(3.0, 1000)
+	InjectVMRegression(fresh, 20)
+	if findings := CompareVM(committed, fresh, 15); len(findings) == 0 {
+		t.Error("injected 20% VM regression passed a 15% gate")
+	}
+}
+
+// TestGateVMInstrDrift: deterministic per-run instruction counts must
+// match the committed record exactly; drift means a stale record or a
+// miscounting engine.
+func TestGateVMInstrDrift(t *testing.T) {
+	committed := vmRecord(3.0, 1000)
+	if findings := CompareVM(committed, vmRecord(3.0, 1001), 15); len(findings) == 0 {
+		t.Error("instruction-count drift passed the gate")
+	}
+}

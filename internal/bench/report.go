@@ -86,6 +86,55 @@ func Table2(results []*Result) string {
 	return b.String()
 }
 
+// SweepTables formats the multi-machine sweep: per machine, a Table
+// 1/2-style section (weighted overhead per benchmark and strategy plus
+// the placement-time totals), followed by the crossover report —
+// which strategy wins under which jump:spill latency ratio.
+func SweepTables(sw *Sweep) string {
+	var b strings.Builder
+	totals := sw.MachineTotals()
+	for mi, t := range totals {
+		d := t.Machine
+		fmt.Fprintf(&b, "Machine %s (%s): weighted dynamic spill overhead\n\n", d.Name, d.Costs)
+		fmt.Fprintf(&b, "%-10s %14s %14s %14s %14s %9s\n",
+			"benchmark", "Optimized", "Shrinkwrap", "Baseline", "Opt(exec)", "Opt/Base")
+		for _, r := range sw.Results {
+			c := r.Cells[mi]
+			ratio := 100.0
+			if c[Baseline].WeightedOverhead != 0 {
+				ratio = 100 * float64(c[Optimized].WeightedOverhead) / float64(c[Baseline].WeightedOverhead)
+			}
+			fmt.Fprintf(&b, "%-10s %14d %14d %14d %14d %8.1f%%\n",
+				r.Name, c[Optimized].WeightedOverhead, c[Shrinkwrap].WeightedOverhead,
+				c[Baseline].WeightedOverhead, c[OptimizedExec].WeightedOverhead, ratio)
+		}
+		totalRatio := 100.0
+		if t.Overhead[Baseline] != 0 {
+			totalRatio = 100 * float64(t.Overhead[Optimized]) / float64(t.Overhead[Baseline])
+		}
+		fmt.Fprintf(&b, "%-10s %14d %14d %14d %14d %8.1f%%\n",
+			"Total", t.Overhead[Optimized], t.Overhead[Shrinkwrap],
+			t.Overhead[Baseline], t.Overhead[OptimizedExec], totalRatio)
+		fmt.Fprintf(&b, "placement time: shrinkwrap %.3fms, optimized %.3fms, all strategies %.3fms\n\n",
+			t.Placement[Shrinkwrap].Seconds()*1e3, t.Placement[Optimized].Seconds()*1e3,
+			(t.Placement[Baseline]+t.Placement[Shrinkwrap]+t.Placement[Optimized]+t.Placement[OptimizedExec]).Seconds()*1e3)
+	}
+
+	b.WriteString("Crossover: suite-total winner by machine (jump:spill = taken-jump penalty over mean spill latency)\n\n")
+	fmt.Fprintf(&b, "%-14s %-14s %10s %-14s %12s\n", "machine", "costs", "jump:spill", "winner", "win vs base")
+	for _, t := range totals {
+		ratio := 100.0
+		if t.Overhead[Baseline] != 0 {
+			ratio = 100 * float64(t.Overhead[t.Winner]) / float64(t.Overhead[Baseline])
+		}
+		fmt.Fprintf(&b, "%-14s %-14s %10.2f %-14s %11.1f%%\n",
+			t.Machine.Name, t.Machine.Costs.String(), t.Machine.Costs.SpillRatio(), t.Winner, ratio)
+	}
+	fmt.Fprintf(&b, "\nanalysis builds over %d machines, %d placed functions: liveness %d, dom %d, loops %d, pst %d, seed %d (each at most once per function)\n",
+		len(sw.Machines), sw.Functions, sw.Builds.Liveness, sw.Builds.Dom, sw.Builds.Loops, sw.Builds.PST, sw.Builds.Seed)
+	return b.String()
+}
+
 // SuiteStats merges every benchmark's VM execution counters into one
 // suite-wide total per strategy. Merging is order-independent, so the
 // totals are identical whether the results came from the serial loop

@@ -1,16 +1,34 @@
 package core
 
-import "repro/internal/ir"
+import (
+	"repro/internal/ir"
+	"repro/internal/machine"
+)
+
+// CostKind distinguishes a save (spill store) from a restore (spill
+// load) when pricing a location: machines charge memory reads and
+// writes differently, so a model needs to know which instruction it is
+// pricing, not just where the instruction goes.
+type CostKind uint8
+
+const (
+	// SaveCost prices a callee-saved save (a memory write).
+	SaveCost CostKind = iota
+	// RestoreCost prices a callee-saved restore (a memory read).
+	RestoreCost
+)
 
 // CostModel assigns a dynamic-overhead cost to save/restore locations.
-// The paper defines two: the execution count model (optimal, but may
-// place code on jump edges without accounting for the jump) and the
-// jump edge model (charges the jump instruction a jump block needs).
+// The paper defines two on its one hard-coded machine: the execution
+// count model (optimal, but may place code on jump edges without
+// accounting for the jump) and the jump edge model (charges the jump
+// instruction a jump block needs). MachineModel generalizes both to an
+// arbitrary machine.Desc cost surface.
 type CostModel interface {
 	// LocationCost returns the dynamic cost of placing one spill
-	// instruction at l. seed selects the initial-set rule that shares
-	// a jump instruction's cost among registers.
-	LocationCost(l Location, seed bool) int64
+	// instruction of kind k at l. seed selects the initial-set rule
+	// that shares a jump instruction's cost among registers.
+	LocationCost(k CostKind, l Location, seed bool) int64
 	// Name identifies the model in reports.
 	Name() string
 }
@@ -21,7 +39,7 @@ type CostModel interface {
 type ExecCountModel struct{}
 
 // LocationCost returns the location's execution count.
-func (ExecCountModel) LocationCost(l Location, seed bool) int64 { return l.Weight() }
+func (ExecCountModel) LocationCost(k CostKind, l Location, seed bool) int64 { return l.Weight() }
 
 // Name returns "exec-count".
 func (ExecCountModel) Name() string { return "exec-count" }
@@ -35,7 +53,7 @@ func (ExecCountModel) Name() string { return "exec-count" }
 type JumpEdgeModel struct{}
 
 // LocationCost returns the weight plus any jump-block surcharge.
-func (JumpEdgeModel) LocationCost(l Location, seed bool) int64 {
+func (JumpEdgeModel) LocationCost(k CostKind, l Location, seed bool) int64 {
 	c := l.Weight()
 	if l.NeedsJumpBlock() {
 		if seed {
@@ -50,14 +68,70 @@ func (JumpEdgeModel) LocationCost(l Location, seed bool) int64 {
 // Name returns "jump-edge".
 func (JumpEdgeModel) Name() string { return "jump-edge" }
 
+// MachineModel prices locations with a machine description's cost
+// surface: a save executes a spill store (Desc.Costs.StoreCost per
+// execution), a restore a spill load (LoadCost), and — when ChargeJumps
+// is set — a location that needs a jump block additionally pays the
+// machine's taken-jump penalty (seed sets share it among the registers
+// on the edge, exactly like JumpEdgeModel), while spill code split onto
+// a fall-through critical edge pays the machine's (usually zero)
+// fall-through penalty.
+//
+// On a machine with unit costs, MachineModel{d} prices exactly like
+// ExecCountModel and MachineModel{d, ChargeJumps: true} exactly like
+// JumpEdgeModel; the equivalence is pinned by tests.
+type MachineModel struct {
+	Desc *machine.Desc
+	// ChargeJumps selects the jump-edge flavor of the model; without
+	// it the model is the machine-priced execution count model.
+	ChargeJumps bool
+}
+
+// LocationCost prices one spill instruction of kind k at l under the
+// machine's cost surface.
+func (m MachineModel) LocationCost(k CostKind, l Location, seed bool) int64 {
+	c := m.Desc.Costs
+	w := l.Weight()
+	lat := c.StoreCost()
+	if k == RestoreCost {
+		lat = c.LoadCost()
+	}
+	cost := w * lat
+	if !m.ChargeJumps {
+		return cost
+	}
+	if l.NeedsJumpBlock() {
+		j := w * c.JumpCost()
+		if seed {
+			j /= int64(l.sharers())
+		}
+		cost += j
+	} else if l.Kind == OnEdge {
+		cost += w * c.FallCost()
+	}
+	return cost
+}
+
+// Name identifies the model and its machine, e.g. "jump-edge@classic".
+func (m MachineModel) Name() string {
+	base := "exec-count"
+	if m.ChargeJumps {
+		base = "jump-edge"
+	}
+	if m.Desc.Name == "" {
+		return base
+	}
+	return base + "@" + m.Desc.Name
+}
+
 // SetCost is the total cost of a set's locations under the model.
 func SetCost(m CostModel, s *Set) int64 {
 	var c int64
 	for _, l := range s.Saves {
-		c += m.LocationCost(l, s.Seed)
+		c += m.LocationCost(SaveCost, l, s.Seed)
 	}
 	for _, l := range s.Restores {
-		c += m.LocationCost(l, s.Seed)
+		c += m.LocationCost(RestoreCost, l, s.Seed)
 	}
 	return c
 }

@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/ir"
+	"repro/internal/machine"
 	"repro/internal/pst"
 	"repro/internal/shrinkwrap"
 	"repro/internal/workload"
@@ -65,22 +66,98 @@ func TestJumpEdgeModelSharing(t *testing.T) {
 	m := core.JumpEdgeModel{}
 
 	// Unshared seed location: full jump surcharge.
-	if got := m.LocationCost(edgeDF, true); got != 60 {
+	if got := m.LocationCost(core.SaveCost, edgeDF, true); got != 60 {
 		t.Errorf("unshared seed cost = %d, want 60", got)
 	}
 	// Shared between two registers at seed time: half the surcharge.
 	shared := edgeDF
 	shared.JumpSharers = 2
-	if got := m.LocationCost(shared, true); got != 45 {
+	if got := m.LocationCost(core.SaveCost, shared, true); got != 45 {
 		t.Errorf("shared seed cost = %d, want 45 (30 + 30/2)", got)
 	}
 	// Algorithm-created sets always pay the full jump cost.
-	if got := m.LocationCost(shared, false); got != 60 {
+	if got := m.LocationCost(core.RestoreCost, shared, false); got != 60 {
 		t.Errorf("non-seed cost = %d, want 60 regardless of sharers", got)
 	}
 	// Exec model ignores jumps entirely.
-	if got := (core.ExecCountModel{}).LocationCost(edgeDF, true); got != 30 {
+	if got := (core.ExecCountModel{}).LocationCost(core.SaveCost, edgeDF, true); got != 30 {
 		t.Errorf("exec model cost = %d, want 30", got)
+	}
+}
+
+// TestMachineModelUnitEquivalence: on a unit-cost machine the
+// machine-parameterized model prices every location exactly like the
+// paper's two hard-coded models, for both cost kinds, seed and
+// non-seed, shared and unshared — the refactor changes no number.
+func TestMachineModelUnitEquivalence(t *testing.T) {
+	_, headD, tailE, edgeDF := fig2Locs(t)
+	classic, err := machine.Preset("classic")
+	if err != nil {
+		t.Fatal(err)
+	}
+	shared := edgeDF
+	shared.JumpSharers = 3
+	locs := []core.Location{headD, tailE, edgeDF, shared}
+	exec := core.MachineModel{Desc: classic}
+	jump := core.MachineModel{Desc: classic, ChargeJumps: true}
+	for _, l := range locs {
+		for _, k := range []core.CostKind{core.SaveCost, core.RestoreCost} {
+			for _, seed := range []bool{false, true} {
+				if got, want := exec.LocationCost(k, l, seed), (core.ExecCountModel{}).LocationCost(k, l, seed); got != want {
+					t.Errorf("exec@classic cost of %v (k=%d seed=%v) = %d, want %d", l, k, seed, got, want)
+				}
+				if got, want := jump.LocationCost(k, l, seed), (core.JumpEdgeModel{}).LocationCost(k, l, seed); got != want {
+					t.Errorf("jump@classic cost of %v (k=%d seed=%v) = %d, want %d", l, k, seed, got, want)
+				}
+			}
+		}
+	}
+	if exec.Name() != "exec-count@classic" || jump.Name() != "jump-edge@classic" {
+		t.Errorf("model names = %q, %q", exec.Name(), jump.Name())
+	}
+}
+
+// TestMachineModelLatencies: a machine with distinct store/load
+// latencies prices saves and restores differently, charges the taken-
+// jump penalty on jump-block locations (shared among seed registers),
+// and applies the dual-issue discount with round-up.
+func TestMachineModelLatencies(t *testing.T) {
+	_, headD, _, edgeDF := fig2Locs(t)
+	d, err := machine.Preset("deep-pipeline") // st2/ld3/j12
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := core.MachineModel{Desc: d, ChargeJumps: true}
+	// head(D) weight 40: save 40*2, restore 40*3, no jump.
+	if got := m.LocationCost(core.SaveCost, headD, false); got != 80 {
+		t.Errorf("save cost = %d, want 80", got)
+	}
+	if got := m.LocationCost(core.RestoreCost, headD, false); got != 120 {
+		t.Errorf("restore cost = %d, want 120", got)
+	}
+	// edge(D->F) weight 30, jump edge: save 30*2 + 30*12.
+	if got := m.LocationCost(core.SaveCost, edgeDF, false); got != 60+360 {
+		t.Errorf("jump-edge save cost = %d, want 420", got)
+	}
+	// Seed sharing divides only the jump term.
+	shared := edgeDF
+	shared.JumpSharers = 2
+	if got := m.LocationCost(core.SaveCost, shared, true); got != 60+180 {
+		t.Errorf("shared jump-edge save cost = %d, want 240", got)
+	}
+	// The exec flavor never charges the jump.
+	me := core.MachineModel{Desc: d}
+	if got := me.LocationCost(core.SaveCost, edgeDF, false); got != 60 {
+		t.Errorf("exec flavor jump-edge cost = %d, want 60", got)
+	}
+	// Dual issue halves spill latency with round-up: st2 -> 1.
+	di, err := machine.Preset("dual-issue")
+	if err != nil {
+		t.Fatal(err)
+	}
+	md := core.MachineModel{Desc: di, ChargeJumps: true}
+	if got := md.LocationCost(core.SaveCost, headD, false); got != 40 {
+		t.Errorf("dual-issue save cost = %d, want 40 (latency 2 paired to 1)", got)
 	}
 }
 

@@ -37,10 +37,10 @@ func boundaryCost(m CostModel, f *ir.Func, r *pst.Region) int64 {
 	saves, restores := BoundaryLocs(f, r)
 	var c int64
 	for _, l := range saves {
-		c += m.LocationCost(l, false)
+		c += m.LocationCost(SaveCost, l, false)
 	}
 	for _, l := range restores {
-		c += m.LocationCost(l, false)
+		c += m.LocationCost(RestoreCost, l, false)
 	}
 	return c
 }

@@ -16,8 +16,8 @@ type StaticAwareModel struct {
 }
 
 // LocationCost returns dynamic cost plus the static surcharge.
-func (m StaticAwareModel) LocationCost(l Location, seed bool) int64 {
-	c := (JumpEdgeModel{}).LocationCost(l, seed)
+func (m StaticAwareModel) LocationCost(k CostKind, l Location, seed bool) int64 {
+	c := (JumpEdgeModel{}).LocationCost(k, l, seed)
 	c += m.StaticWeight
 	if l.NeedsJumpBlock() {
 		// The jump block's jump instruction is also a static cost; for

@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/dataflow"
 	"repro/internal/ir"
+	"repro/internal/machine"
 )
 
 // ValidateSets checks that a logical placement preserves the callee-
@@ -235,6 +236,16 @@ type OverheadBreakdown struct {
 // Total sums all categories.
 func (o OverheadBreakdown) Total() int64 {
 	return o.SpillLoads + o.SpillStores + o.Saves + o.Restores + o.JumpBlockJmps
+}
+
+// Cost prices the breakdown with a machine's cost surface: memory
+// reads at the spill-load latency, memory writes at the spill-store
+// latency, jump-block jumps at the taken-jump penalty. With unit costs
+// it equals Total. The VM's Stats.WeightedOverhead measures the same
+// quantity by execution; the two must agree when the profile matches
+// the run.
+func (o OverheadBreakdown) Cost(c machine.Costs) int64 {
+	return c.Price(o.SpillLoads+o.Restores, o.SpillStores+o.Saves, o.JumpBlockJmps)
 }
 
 // Breakdown computes the per-class dynamic overhead of f.

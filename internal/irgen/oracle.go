@@ -44,7 +44,7 @@ type Violation struct {
 	// Invariant names the broken property: "verify-input", "profile",
 	// "alloc", "verify-placed", "flow-placed", "roundtrip", "run",
 	// "value", "exec-optimal", "jump-vs-seed", "jump-vs-shrinkwrap",
-	// "jump-vs-baseline", "exact-cost".
+	// "jump-vs-baseline", "exact-cost", "exact-cost-machine".
 	Invariant string
 	// Strategy is the placement the violation concerns (meaningful for
 	// per-strategy invariants; EntryExit otherwise).
@@ -109,7 +109,10 @@ func CheckSource(src string, opts Options) *Report {
 //     Shrinkwrap's or EntryExit's (the paper's headline claim);
 //   - exactness: EntryExit's modeled jump-edge cost equals its
 //     measured save/restore overhead (no jump blocks, so model and
-//     machine must agree instruction for instruction).
+//     machine must agree instruction for instruction) — and the same
+//     agreement must hold cycle for cycle under every machine cost
+//     preset, pricing the model with core.MachineModel and the
+//     measured counts with the preset's cost surface.
 //
 // The input program is not mutated.
 func Check(prog *ir.Program, opts Options) *Report {
@@ -154,6 +157,12 @@ func Check(prog *ir.Program, opts Options) *Report {
 	var values [strategy.Count]int64
 	var ran [strategy.Count]bool
 
+	// EntryExit's modeled cost under every machine cost preset, summed
+	// across functions: the per-preset exactness check compares it to
+	// the measured counts priced with the same preset.
+	presets := machine.Presets()
+	presetModeled := make([]int64, len(presets))
+
 	// All five strategies compute their sets on the shared allocated
 	// base through one analysis cache — liveness, dominators, loops,
 	// PST, and the shrink-wrap seed are built once per function instead
@@ -182,6 +191,11 @@ func Check(prog *ir.Program, opts Options) *Report {
 			}
 			execCost[s][f.Name] = core.TotalCost(core.ExecCountModel{}, sets)
 			jumpCost[s][f.Name] = core.TotalCost(core.JumpEdgeModel{}, sets)
+			if s == strategy.EntryExit {
+				for pi, d := range presets {
+					presetModeled[pi] += core.TotalCost(core.MachineModel{Desc: d, ChargeJumps: true}, sets)
+				}
+			}
 			if err := core.ValidateSetsLive(f, sets, info.Liveness()); err != nil {
 				r.violate("verify-placed", s, "%s: %v", f.Name, err)
 				ok = false
@@ -236,6 +250,19 @@ func Check(prog *ir.Program, opts Options) *Report {
 			measured := m.Stats.Saves + m.Stats.Restores + m.Stats.JumpBlockJmps
 			if modeled != measured {
 				r.violate("exact-cost", s, "modeled %d != measured %d", modeled, measured)
+			}
+
+			// The same exactness must hold under every machine cost
+			// preset: the preset-priced model on one side, the measured
+			// class counts priced with the preset's cost surface on the
+			// other. A model and a machine that disagree on any latency
+			// (or on the dual-issue rounding) diverge here.
+			for pi, d := range presets {
+				pm := m.Stats.SaveRestoreCost(d.Costs)
+				if presetModeled[pi] != pm {
+					r.violate("exact-cost-machine", s, "machine %s: modeled %d != measured %d",
+						d.Name, presetModeled[pi], pm)
+				}
 			}
 		}
 	}

@@ -1,6 +1,8 @@
 package irgen
 
 import (
+	"os"
+	"strconv"
 	"testing"
 
 	"repro/internal/core"
@@ -8,11 +10,23 @@ import (
 )
 
 // TestOracleCleanSweep: the oracle passes a seed range with the real
-// cost models, and at least some of those checks are non-trivial
-// (callee-saved registers in play).
+// cost models — including the per-machine-preset model-vs-measured
+// exactness checks that run inside Check — and at least some of those
+// checks are non-trivial (callee-saved registers in play).
+//
+// The sweep covers 100 seeds by default; the nightly CI workflow
+// widens it through IRGEN_ORACLE_SEEDS.
 func TestOracleCleanSweep(t *testing.T) {
+	n := uint64(100)
+	if s := os.Getenv("IRGEN_ORACLE_SEEDS"); s != "" {
+		v, err := strconv.ParseUint(s, 10, 32)
+		if err != nil || v == 0 {
+			t.Fatalf("bad IRGEN_ORACLE_SEEDS=%q: %v", s, err)
+		}
+		n = v
+	}
 	interesting := 0
-	for seed := uint64(0); seed < 60; seed++ {
+	for seed := uint64(0); seed < n; seed++ {
 		prog := Generate(seed, Default())
 		r := Check(prog, Options{Args: []int64{int64(seed % 7)}})
 		if r.Failed() {
@@ -22,8 +36,8 @@ func TestOracleCleanSweep(t *testing.T) {
 			interesting++
 		}
 	}
-	if interesting < 20 {
-		t.Errorf("only %d/60 seeds exercised callee-saved placement; generator too tame", interesting)
+	if interesting < int(n)/3 {
+		t.Errorf("only %d/%d seeds exercised callee-saved placement; generator too tame", interesting, n)
 	}
 }
 
@@ -32,7 +46,7 @@ func TestOracleCleanSweep(t *testing.T) {
 // spill code into the hottest locations it can find.
 type hotModel struct{}
 
-func (hotModel) LocationCost(l core.Location, seed bool) int64 {
+func (hotModel) LocationCost(k core.CostKind, l core.Location, seed bool) int64 {
 	return 1 << 20 / (1 + l.Weight())
 }
 func (hotModel) Name() string { return "broken-hot" }

@@ -1,0 +1,247 @@
+package machine
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Costs parameterizes the machine's spill-cost surface: the latencies
+// the placement cost models, the shrink-wrap jump-edge rule, and the
+// VM's weighted overhead accounting all price overhead with. The paper
+// hard-codes one machine (every overhead instruction costs 1 cycle);
+// Costs generalizes that so the same placement pipeline can be swept
+// across machine descriptions with different latency ratios.
+//
+// The zero value means "the paper's machine": every field unset prices
+// exactly like UnitCosts, so a Desc built without explicit costs (e.g.
+// machine.Small in tests) keeps the historical behavior. A Costs with
+// any field set is taken literally, including explicit zeros.
+type Costs struct {
+	// SpillStore is the latency of a memory write inserted by the
+	// compiler: a callee-saved save or an allocator spill store.
+	SpillStore int64 `json:"spill_store"`
+	// SpillLoad is the latency of a memory read inserted by the
+	// compiler: a callee-saved restore or an allocator spill reload.
+	SpillLoad int64 `json:"spill_load"`
+	// JumpTaken is the penalty of the taken jump a jump block adds
+	// when spill code must live on a jump edge.
+	JumpTaken int64 `json:"jump_taken"`
+	// FallThrough is the penalty charged by the cost models for spill
+	// code split onto a fall-through (non-jump) critical edge. The VM
+	// measures no extra instruction there — the block falls through in
+	// layout — so this models second-order effects (alignment, icache
+	// disruption) and is 0 on most machines.
+	FallThrough int64 `json:"fall_through"`
+	// DualIssue marks a machine whose load/store pipes can pair-issue
+	// adjacent spill code: effective SpillStore/SpillLoad latency is
+	// halved, rounding up.
+	DualIssue bool `json:"dual_issue,omitempty"`
+}
+
+// UnitCosts is the paper's implicit cost surface: every executed
+// overhead instruction costs 1, fall-through splits are free.
+func UnitCosts() Costs {
+	return Costs{SpillStore: 1, SpillLoad: 1, JumpTaken: 1}
+}
+
+// resolve maps the zero value to UnitCosts; any explicitly set Costs
+// is returned unchanged.
+func (c Costs) resolve() Costs {
+	if c == (Costs{}) {
+		return UnitCosts()
+	}
+	return c
+}
+
+// pair applies the dual-issue discount to a spill latency.
+func (c Costs) pair(v int64) int64 {
+	if c.DualIssue {
+		return (v + 1) / 2
+	}
+	return v
+}
+
+// StoreCost is the effective latency of one executed save / spill
+// store, dual-issue discount applied.
+func (c Costs) StoreCost() int64 { c = c.resolve(); return c.pair(c.SpillStore) }
+
+// LoadCost is the effective latency of one executed restore / spill
+// reload, dual-issue discount applied.
+func (c Costs) LoadCost() int64 { c = c.resolve(); return c.pair(c.SpillLoad) }
+
+// JumpCost is the penalty of one executed jump-block jump.
+func (c Costs) JumpCost() int64 { return c.resolve().JumpTaken }
+
+// FallCost is the modeled penalty of splitting a fall-through edge.
+func (c Costs) FallCost() int64 { return c.resolve().FallThrough }
+
+// Price is the single pricing formula every layer shares: memory
+// reads (spill loads, restores) at the spill-load latency, memory
+// writes (spill stores, saves) at the spill-store latency, jump-block
+// jumps at the taken-jump penalty. The placement models
+// (core.MachineModel, core.OverheadBreakdown.Cost) and the VM's
+// measured accounting (vm.Stats.WeightedOverhead) all go through it,
+// so model-side and measured-side pricing cannot diverge.
+func (c Costs) Price(reads, writes, jumps int64) int64 {
+	return reads*c.LoadCost() + writes*c.StoreCost() + jumps*c.JumpCost()
+}
+
+// SpillRatio is JumpCost per average spill latency — the latency ratio
+// the crossover report orders machines by: high ratios punish jump
+// blocks (favoring placements that avoid them), low ratios punish
+// memory traffic (favoring fewer executed saves/restores).
+func (c Costs) SpillRatio() float64 {
+	s := c.StoreCost() + c.LoadCost()
+	if s == 0 {
+		return 0
+	}
+	return float64(2*c.JumpCost()) / float64(s)
+}
+
+// String renders the cost surface compactly, e.g. "st2/ld3/j12".
+func (c Costs) String() string {
+	r := c.resolve()
+	s := fmt.Sprintf("st%d/ld%d/j%d", r.SpillStore, r.SpillLoad, r.JumpTaken)
+	if r.FallThrough != 0 {
+		s += fmt.Sprintf("/ft%d", r.FallThrough)
+	}
+	if r.DualIssue {
+		s += "/dual"
+	}
+	return s
+}
+
+// EstimateParams parameterizes the static profile estimator for a
+// machine's compiler: with no real profile, functions are assumed
+// entered BaseScale times and each loop level multiplies block
+// frequency by LoopFactor. The zero value means DefaultEstimate.
+type EstimateParams struct {
+	BaseScale  int64 `json:"base_scale"`
+	LoopFactor int64 `json:"loop_factor"`
+}
+
+// DefaultEstimate is the estimator setting the repository's
+// estimate-vs-profile experiment uses.
+var DefaultEstimate = EstimateParams{BaseScale: 100, LoopFactor: 8}
+
+// EstimateParams returns the machine's static-estimation parameters,
+// defaulting to DefaultEstimate when unset.
+func (d *Desc) EstimateParams() EstimateParams {
+	if d.Estimate == (EstimateParams{}) {
+		return DefaultEstimate
+	}
+	return d.Estimate
+}
+
+// preset builds a named PA-RISC-register-file machine with the given
+// cost surface. Presets differ only in costs: every preset shares the
+// paper's register file, so one register allocation (and one analysis
+// cache) serves a sweep across all of them.
+func preset(name string, c Costs) *Desc {
+	d := PARISC()
+	d.Name = name
+	d.Costs = c
+	return d
+}
+
+// Presets returns the named machine descriptions the multi-machine
+// sweeps evaluate, in a fixed report order:
+//
+//   - classic: the paper's machine — every overhead instruction costs
+//     one cycle. The placement numbers under it reproduce the paper.
+//   - deep-pipeline: long pipeline, expensive taken jumps (mispredict
+//     flush) and moderately expensive memory ops.
+//   - cheap-spill: fast store buffers make spill traffic cheap while
+//     jumps stay costly — the regime that most favors placements that
+//     trade extra saves/restores for fewer jump blocks.
+//   - slow-memory: an embedded part with slow memory and cheap control
+//     flow — the opposite regime, where every avoided save/restore
+//     matters and jump blocks are nearly free.
+//   - dual-issue: paired load/store pipes halve effective spill
+//     latency (rounding up) under a moderate jump penalty.
+//   - tight-loop: unit spill costs but a modeled fall-through split
+//     penalty and a stiff jump penalty, for cores where any control
+//     flow disruption hurts.
+func Presets() []*Desc {
+	return []*Desc{
+		preset("classic", UnitCosts()),
+		preset("deep-pipeline", Costs{SpillStore: 2, SpillLoad: 3, JumpTaken: 12}),
+		preset("cheap-spill", Costs{SpillStore: 1, SpillLoad: 1, JumpTaken: 6}),
+		preset("slow-memory", Costs{SpillStore: 8, SpillLoad: 10, JumpTaken: 2}),
+		preset("dual-issue", Costs{SpillStore: 2, SpillLoad: 2, JumpTaken: 4, DualIssue: true}),
+		preset("tight-loop", Costs{SpillStore: 1, SpillLoad: 1, JumpTaken: 8, FallThrough: 1}),
+	}
+}
+
+// PresetNames returns the preset names in report order.
+func PresetNames() []string {
+	ps := Presets()
+	names := make([]string, len(ps))
+	for i, d := range ps {
+		names[i] = d.Name
+	}
+	return names
+}
+
+// Preset returns the named machine description, or an error listing
+// the valid names.
+func Preset(name string) (*Desc, error) {
+	for _, d := range Presets() {
+		if d.Name == name {
+			return d, nil
+		}
+	}
+	return nil, fmt.Errorf("machine: unknown preset %q (have %s)", name, strings.Join(PresetNames(), ", "))
+}
+
+// ParsePresets resolves a comma-separated preset list; "all" (or an
+// empty string) selects every preset. Duplicates are collapsed,
+// keeping report order.
+func ParsePresets(list string) ([]*Desc, error) {
+	if list == "" || list == "all" {
+		return Presets(), nil
+	}
+	want := map[string]bool{}
+	order := map[string]int{}
+	for i, n := range PresetNames() {
+		order[n] = i
+	}
+	for _, name := range strings.Split(list, ",") {
+		name = strings.TrimSpace(name)
+		if name == "" {
+			continue
+		}
+		if _, ok := order[name]; !ok {
+			return nil, fmt.Errorf("machine: unknown preset %q (have %s)", name, strings.Join(PresetNames(), ", "))
+		}
+		want[name] = true
+	}
+	var names []string
+	for n := range want {
+		names = append(names, n)
+	}
+	sort.Slice(names, func(i, j int) bool { return order[names[i]] < order[names[j]] })
+	out := make([]*Desc, 0, len(names))
+	for _, n := range names {
+		d, _ := Preset(n)
+		out = append(out, d)
+	}
+	return out, nil
+}
+
+// SameRegisterFile reports whether every description shares one
+// register file and calling convention — the precondition for sweeping
+// several machines over a single register allocation. An empty list
+// trivially qualifies.
+func SameRegisterFile(descs []*Desc) bool {
+	if len(descs) == 0 {
+		return true
+	}
+	for _, d := range descs[1:] {
+		if d.NumRegs != descs[0].NumRegs || d.CalleeSavedFrom != descs[0].CalleeSavedFrom {
+			return false
+		}
+	}
+	return true
+}

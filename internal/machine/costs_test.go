@@ -1,0 +1,114 @@
+package machine
+
+import "testing"
+
+// TestZeroCostsAreUnit: a Desc built without explicit costs (every
+// pre-existing constructor, machine.Small in tests) must price exactly
+// like the paper's machine.
+func TestZeroCostsAreUnit(t *testing.T) {
+	var c Costs
+	if c.StoreCost() != 1 || c.LoadCost() != 1 || c.JumpCost() != 1 || c.FallCost() != 0 {
+		t.Errorf("zero Costs price st%d/ld%d/j%d/ft%d, want 1/1/1/0",
+			c.StoreCost(), c.LoadCost(), c.JumpCost(), c.FallCost())
+	}
+	if u := UnitCosts(); u.StoreCost() != 1 || u.LoadCost() != 1 || u.JumpCost() != 1 {
+		t.Error("UnitCosts is not unit")
+	}
+}
+
+// TestExplicitZeroHonored: once any field is set, zeros elsewhere are
+// literal — a machine may genuinely price jumps at zero.
+func TestExplicitZeroHonored(t *testing.T) {
+	c := Costs{SpillStore: 4, SpillLoad: 4}
+	if c.JumpCost() != 0 {
+		t.Errorf("explicit jump cost 0 priced as %d", c.JumpCost())
+	}
+	if c.StoreCost() != 4 || c.LoadCost() != 4 {
+		t.Errorf("store/load = %d/%d, want 4/4", c.StoreCost(), c.LoadCost())
+	}
+}
+
+// TestDualIssueRounding: pairing halves spill latency, rounding up.
+func TestDualIssueRounding(t *testing.T) {
+	c := Costs{SpillStore: 3, SpillLoad: 4, JumpTaken: 2, DualIssue: true}
+	if c.StoreCost() != 2 {
+		t.Errorf("paired store latency = %d, want 2 (ceil 3/2)", c.StoreCost())
+	}
+	if c.LoadCost() != 2 {
+		t.Errorf("paired load latency = %d, want 2", c.LoadCost())
+	}
+	if c.JumpCost() != 2 {
+		t.Error("dual issue must not discount the jump penalty")
+	}
+}
+
+// TestPresets: every preset resolves by name, shares the PA-RISC
+// register file, and the classic preset is the paper's machine.
+func TestPresets(t *testing.T) {
+	ps := Presets()
+	if len(ps) < 4 {
+		t.Fatalf("%d presets, want at least 4", len(ps))
+	}
+	if !SameRegisterFile(ps) {
+		t.Fatal("presets do not share one register file")
+	}
+	ref := PARISC()
+	for _, d := range ps {
+		got, err := Preset(d.Name)
+		if err != nil {
+			t.Fatalf("Preset(%q): %v", d.Name, err)
+		}
+		if got.Name != d.Name || got.Costs != d.Costs {
+			t.Errorf("Preset(%q) round-trip mismatch", d.Name)
+		}
+		if d.NumRegs != ref.NumRegs || d.CalleeSavedFrom != ref.CalleeSavedFrom {
+			t.Errorf("%s: register file differs from PA-RISC", d.Name)
+		}
+	}
+	classic := ps[0]
+	if classic.Name != "classic" || classic.Costs != UnitCosts() {
+		t.Errorf("first preset = %s %v, want classic with unit costs", classic.Name, classic.Costs)
+	}
+	if _, err := Preset("vliw-9000"); err == nil {
+		t.Error("unknown preset did not error")
+	}
+}
+
+// TestParsePresets: comma lists, "all", dedup, order, and errors.
+func TestParsePresets(t *testing.T) {
+	all, err := ParsePresets("all")
+	if err != nil || len(all) != len(Presets()) {
+		t.Fatalf("ParsePresets(all) = %d presets, err %v", len(all), err)
+	}
+	two, err := ParsePresets("deep-pipeline, classic ,classic")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(two) != 2 || two[0].Name != "classic" || two[1].Name != "deep-pipeline" {
+		t.Errorf("ParsePresets kept %v, want [classic deep-pipeline] in report order", names(two))
+	}
+	if _, err := ParsePresets("classic,nope"); err == nil {
+		t.Error("unknown name in list did not error")
+	}
+}
+
+func names(ds []*Desc) []string {
+	out := make([]string, len(ds))
+	for i, d := range ds {
+		out[i] = d.Name
+	}
+	return out
+}
+
+// TestEstimateParamsDefault: unset estimator parameters fall back to
+// the repository default; set ones are honored.
+func TestEstimateParamsDefault(t *testing.T) {
+	d := PARISC()
+	if d.EstimateParams() != DefaultEstimate {
+		t.Errorf("default estimate = %+v, want %+v", d.EstimateParams(), DefaultEstimate)
+	}
+	d.Estimate = EstimateParams{BaseScale: 7, LoopFactor: 3}
+	if d.EstimateParams().BaseScale != 7 || d.EstimateParams().LoopFactor != 3 {
+		t.Error("explicit estimate parameters not honored")
+	}
+}

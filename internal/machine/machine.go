@@ -10,8 +10,19 @@ import (
 	"repro/internal/ir"
 )
 
-// Desc describes a register file and calling convention.
+// Desc describes a register file, calling convention, and cost
+// surface.
 type Desc struct {
+	// Name identifies the machine in reports ("" for ad-hoc
+	// descriptions like the test-only Small machines).
+	Name string
+	// Costs prices compiler-inserted overhead on this machine. The
+	// zero value means the paper's unit costs; see Costs.
+	Costs Costs
+	// Estimate parameterizes static profile estimation for this
+	// machine's compiler (profile.EstimateMachine). The zero value
+	// means DefaultEstimate.
+	Estimate EstimateParams
 	// NumRegs is the number of allocatable general purpose registers.
 	NumRegs int
 	// CalleeSavedFrom is the first callee-saved register number;
@@ -27,7 +38,7 @@ type Desc struct {
 // PARISC returns the paper's machine: 24 allocatable GPRs, 13 of them
 // callee-saved (r11..r23), arguments in r0..r3, result in r0.
 func PARISC() *Desc {
-	d := &Desc{NumRegs: 24, CalleeSavedFrom: 11, RetReg: ir.Phys(0)}
+	d := &Desc{Name: "pa-risc", NumRegs: 24, CalleeSavedFrom: 11, RetReg: ir.Phys(0)}
 	for i := 0; i < 4; i++ {
 		d.ArgRegs = append(d.ArgRegs, ir.Phys(i))
 	}

@@ -3,6 +3,7 @@ package profile
 import (
 	"repro/internal/analysis"
 	"repro/internal/ir"
+	"repro/internal/machine"
 )
 
 // Estimate synthesizes edge weights without running the program, the
@@ -71,6 +72,23 @@ func EstimateInfo(info *analysis.Info, baseScale, loopFactor int64) {
 		}
 	}
 	f.EntryCount = baseScale
+}
+
+// EstimateMachine is Estimate driven by the machine description's
+// static-estimation parameters instead of caller-chosen constants, so
+// the estimator reads the same machine model as the placement cost
+// models and the VM's weighted accounting (machine.DefaultEstimate
+// when the description leaves them unset).
+func EstimateMachine(f *ir.Func, d *machine.Desc) {
+	p := d.EstimateParams()
+	Estimate(f, p.BaseScale, p.LoopFactor)
+}
+
+// EstimateProgramMachine is EstimateMachine over a whole program and
+// an optional shared analysis cache (nil means no sharing).
+func EstimateProgramMachine(p *ir.Program, d *machine.Desc, cache *analysis.Cache) {
+	ep := d.EstimateParams()
+	EstimateProgramCached(p, ep.BaseScale, ep.LoopFactor, cache)
 }
 
 // EstimateProgram applies Estimate to every function, scaling each by

@@ -23,6 +23,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/dataflow"
 	"repro/internal/ir"
+	"repro/internal/machine"
 )
 
 // Mode selects the algorithm variant.
@@ -56,6 +57,14 @@ type Inputs struct {
 	// returned slice is treated as read-only: Original mode copies it
 	// before propagating artificial data flow.
 	Busy func(ir.Reg) []bool
+	// Machine, if non-nil, supplies the cost surface Original mode's
+	// jump-edge rule reads: Chow reiterates with artificial data flow
+	// precisely because a jump block costs a taken jump, so on a
+	// machine whose cost surface prices that jump at zero the
+	// reiteration is skipped and spill code may stay on jump edges.
+	// Nil means the paper's machine (unit costs), which always
+	// reiterates.
+	Machine *machine.Desc
 }
 
 // Compute returns the save/restore sets for every register in
@@ -86,17 +95,26 @@ func ComputeWith(f *ir.Func, mode Mode, in Inputs) []*core.Set {
 		} else {
 			busy = BusyBlocks(f, reg, lv)
 		}
-		sets = append(sets, computeReg(f, reg, mode, busy, owned, loops)...)
+		sets = append(sets, computeReg(f, reg, mode, busy, owned, loops, jumpsCost(in.Machine))...)
 	}
 	core.AssignJumpSharers(sets)
 	return sets
 }
 
+// jumpsCost reports whether the machine charges anything for the jump
+// a jump block adds (nil means the paper's unit-cost machine, which
+// does).
+func jumpsCost(d *machine.Desc) bool {
+	return d == nil || d.Costs.JumpCost() > 0
+}
+
 // computeReg runs the analysis for one register. busy is the
 // register's busy-block mask; owned reports whether computeReg may
 // mutate it in place (Original mode propagates artificial data flow
-// through it).
-func computeReg(f *ir.Func, reg ir.Reg, mode Mode, busy []bool, owned bool, loops *cfg.LoopForest) []*core.Set {
+// through it). avoidJumps carries the machine's verdict on whether a
+// jump block costs anything; when it does not, Original mode skips the
+// jump-edge reiteration.
+func computeReg(f *ir.Func, reg ir.Reg, mode Mode, busy []bool, owned bool, loops *cfg.LoopForest, avoidJumps bool) []*core.Set {
 	if mode == Original {
 		if !owned {
 			busy = append([]bool(nil), busy...)
@@ -104,7 +122,7 @@ func computeReg(f *ir.Func, reg ir.Reg, mode Mode, busy []bool, owned bool, loop
 		for {
 			maskLoops(f, busy, loops)
 			sets := placeSets(f, reg, busy, mode)
-			if !propagateJumpEdges(sets, busy) {
+			if !avoidJumps || !propagateJumpEdges(sets, busy) {
 				return sets
 			}
 			// Artificial data flow was added; reiterate.

@@ -13,6 +13,7 @@ import (
 	"repro/internal/analysis"
 	"repro/internal/core"
 	"repro/internal/ir"
+	"repro/internal/machine"
 	"repro/internal/par"
 	"repro/internal/shrinkwrap"
 )
@@ -68,14 +69,32 @@ func (s Strategy) IsHierarchical() bool {
 	return s == HierarchicalExec || s == HierarchicalJump
 }
 
-// Model returns the cost model the strategy optimizes, or nil for the
-// strategies that do not consume one.
+// Model returns the cost model the strategy optimizes on the paper's
+// machine (unit costs), or nil for the strategies that do not consume
+// one.
 func (s Strategy) Model() core.CostModel {
 	switch s {
 	case HierarchicalExec:
 		return core.ExecCountModel{}
 	case HierarchicalJump:
 		return core.JumpEdgeModel{}
+	}
+	return nil
+}
+
+// ModelFor returns the cost model the strategy optimizes on machine d:
+// the machine-priced execution count model for HierarchicalExec, the
+// machine-priced jump edge model for HierarchicalJump, nil otherwise.
+// A nil machine means the paper's unit-cost models (Model).
+func (s Strategy) ModelFor(d *machine.Desc) core.CostModel {
+	if d == nil {
+		return s.Model()
+	}
+	switch s {
+	case HierarchicalExec:
+		return core.MachineModel{Desc: d}
+	case HierarchicalJump:
+		return core.MachineModel{Desc: d, ChargeJumps: true}
 	}
 	return nil
 }
@@ -104,11 +123,34 @@ func ComputeCached(f *ir.Func, s Strategy, info *analysis.Info) ([]*core.Set, er
 	return ComputeCachedWithModel(f, s, info, nil)
 }
 
-// ComputeCachedWithModel is the general form: cached analyses plus an
-// optional cost model override for the hierarchical strategies. A nil
-// info degrades to a throwaway analysis build, reproducing the
-// uncached path.
+// ComputeCachedWithModel is ComputeCached plus an optional cost model
+// override for the hierarchical strategies. A nil info degrades to a
+// throwaway analysis build, reproducing the uncached path.
 func ComputeCachedWithModel(f *ir.Func, s Strategy, info *analysis.Info, m core.CostModel) ([]*core.Set, error) {
+	return compute(f, s, info, nil, m)
+}
+
+// ComputeFor is Compute on machine d: the hierarchical strategies
+// optimize d's cost surface and Chow's shrink-wrapping reads d's
+// jump-edge rule. A nil machine means the paper's unit-cost machine.
+func ComputeFor(f *ir.Func, s Strategy, d *machine.Desc) ([]*core.Set, error) {
+	return compute(f, s, nil, d, nil)
+}
+
+// ComputeCachedFor is ComputeFor over the shared analysis layer. The
+// memoized analyses are machine-independent (every machine sweeps over
+// the same CFG, liveness, PST, and seed), so one info — and one
+// program-level Cache — serves any number of machine descriptions.
+func ComputeCachedFor(f *ir.Func, s Strategy, info *analysis.Info, d *machine.Desc) ([]*core.Set, error) {
+	return compute(f, s, info, d, nil)
+}
+
+// compute is the single dispatch all Compute variants funnel through:
+// cached analyses, an optional machine description, and an optional
+// cost model override (the override wins over the machine's model for
+// the hierarchical strategies; the differential oracle uses it to
+// prove it can catch a broken model).
+func compute(f *ir.Func, s Strategy, info *analysis.Info, d *machine.Desc, m core.CostModel) ([]*core.Set, error) {
 	if info == nil {
 		info = analysis.For(f)
 	}
@@ -120,6 +162,7 @@ func ComputeCachedWithModel(f *ir.Func, s Strategy, info *analysis.Info, m core.
 			Liveness: info.Liveness(),
 			Loops:    info.Loops(),
 			Busy:     info.BusyBlocks,
+			Machine:  d,
 		}), nil
 	case ShrinkwrapSeed:
 		// The memoized sets are shared with the hierarchical seeds, so
@@ -131,7 +174,7 @@ func ComputeCachedWithModel(f *ir.Func, s Strategy, info *analysis.Info, m core.
 			return nil, err
 		}
 		if m == nil {
-			m = s.Model()
+			m = s.ModelFor(d)
 		}
 		sets, _, err := core.Hierarchical(f, t, info.ShrinkwrapSeed(), m)
 		if err != nil {
@@ -173,10 +216,16 @@ func Place(f *ir.Func, s Strategy) error {
 // invalidated after Apply mutates the function, so no caller can read
 // stale results afterwards.
 func PlaceCached(f *ir.Func, s Strategy, info *analysis.Info) error {
+	return PlaceCachedFor(f, s, info, nil)
+}
+
+// PlaceCachedFor is PlaceCached on machine d (nil means the paper's
+// unit-cost machine).
+func PlaceCachedFor(f *ir.Func, s Strategy, info *analysis.Info, d *machine.Desc) error {
 	if info == nil {
 		info = analysis.For(f)
 	}
-	sets, err := ComputeCached(f, s, info)
+	sets, err := ComputeCachedFor(f, s, info, d)
 	if err != nil {
 		return err
 	}
@@ -202,9 +251,16 @@ func PlaceProgram(prog *ir.Program, s Strategy, parallelism int) error {
 // its own function's Info, so a program-wide cache is safe to share
 // across the pool.
 func PlaceProgramCached(prog *ir.Program, s Strategy, parallelism int, cache *analysis.Cache) error {
+	return PlaceProgramFor(prog, s, nil, parallelism, cache)
+}
+
+// PlaceProgramFor is PlaceProgramCached on machine d: the strategy
+// optimizes (and shrink-wrapping consults) d's cost surface. A nil
+// machine means the paper's unit-cost machine.
+func PlaceProgramFor(prog *ir.Program, s Strategy, d *machine.Desc, parallelism int, cache *analysis.Cache) error {
 	funcs := NeedsPlacement(prog)
 	return par.Do(len(funcs), parallelism, func(i int) error {
-		if err := PlaceCached(funcs[i], s, cache.For(funcs[i])); err != nil {
+		if err := PlaceCachedFor(funcs[i], s, cache.For(funcs[i]), d); err != nil {
 			return fmt.Errorf("%s: %w", funcs[i].Name, err)
 		}
 		return nil

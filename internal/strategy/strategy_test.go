@@ -136,5 +136,70 @@ func TestComputeWithModelOverride(t *testing.T) {
 // expensive, hot locations look free.
 type hotModel struct{}
 
-func (hotModel) LocationCost(l core.Location, seed bool) int64 { return 1 << 20 / (1 + l.Weight()) }
-func (hotModel) Name() string                                  { return "broken-hot" }
+func (hotModel) LocationCost(k core.CostKind, l core.Location, seed bool) int64 {
+	return 1 << 20 / (1 + l.Weight())
+}
+func (hotModel) Name() string { return "broken-hot" }
+
+// TestModelFor: the machine-parameterized model selection — nil falls
+// back to the paper's unit models, a machine description yields its
+// MachineModel with the right jump-charging flavor, and non-
+// hierarchical strategies consume no model on any machine.
+func TestModelFor(t *testing.T) {
+	d, err := machine.Preset("deep-pipeline")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range All {
+		if got, want := s.ModelFor(nil), s.Model(); got != want {
+			t.Errorf("%s.ModelFor(nil) = %v, want Model() %v", s, got, want)
+		}
+		if !s.IsHierarchical() {
+			if s.ModelFor(d) != nil {
+				t.Errorf("%s.ModelFor(machine) should be nil", s)
+			}
+			continue
+		}
+		m, ok := s.ModelFor(d).(core.MachineModel)
+		if !ok || m.Desc != d {
+			t.Fatalf("%s.ModelFor = %v, want MachineModel on %s", s, s.ModelFor(d), d.Name)
+		}
+		if m.ChargeJumps != (s == HierarchicalJump) {
+			t.Errorf("%s: ChargeJumps = %v", s, m.ChargeJumps)
+		}
+	}
+}
+
+// TestPlaceProgramForClassicIdentity: placing on the classic preset is
+// byte-identical to placing on the default (nil) machine — the
+// machine threading changes nothing on the paper's machine.
+func TestPlaceProgramForClassicIdentity(t *testing.T) {
+	classic, err := machine.Preset("classic")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range All {
+		a := buildDemo(t)
+		b := a.Clone()
+		if err := PlaceProgram(a, s, 1); err != nil {
+			t.Fatal(err)
+		}
+		if err := PlaceProgramFor(b, s, classic, 1, nil); err != nil {
+			t.Fatal(err)
+		}
+		va := vm.New(a, vm.Config{Machine: machine.PARISC()})
+		vb := vm.New(b, vm.Config{Machine: classic})
+		ra, err := va.Run(100)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rb, err := vb.Run(100)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ra != rb || va.Stats.Overhead() != vb.Stats.Overhead() {
+			t.Errorf("%s: classic placement diverges from default (val %d/%d, overhead %d/%d)",
+				s, ra, rb, va.Stats.Overhead(), vb.Stats.Overhead())
+		}
+	}
+}

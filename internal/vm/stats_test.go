@@ -1,6 +1,10 @@
 package vm
 
-import "testing"
+import (
+	"testing"
+
+	"repro/internal/machine"
+)
 
 func TestStatsSnapshotIsolatesCalls(t *testing.T) {
 	s := Stats{Instrs: 10, Saves: 2, Calls: map[string]int64{"f": 3}}
@@ -38,5 +42,24 @@ func TestStatsMerge(t *testing.T) {
 	z.Merge(&a)
 	if z.Calls["g"] != 5 {
 		t.Errorf("merge into zero value: %v", z.Calls)
+	}
+}
+
+// TestWeightedOverhead: unit costs reproduce Overhead exactly; a
+// machine with distinct latencies prices reads, writes, and jumps per
+// class, and SaveRestoreCost excludes allocator spill traffic.
+func TestWeightedOverhead(t *testing.T) {
+	s := Stats{SpillLoads: 3, SpillStores: 4, Saves: 5, Restores: 6, JumpBlockJmps: 7}
+	if got := s.WeightedOverhead(machine.UnitCosts()); got != s.Overhead() {
+		t.Errorf("unit weighted overhead = %d, want Overhead() = %d", got, s.Overhead())
+	}
+	c := machine.Costs{SpillStore: 2, SpillLoad: 3, JumpTaken: 12}
+	// reads (3+6)*3 + writes (4+5)*2 + jumps 7*12 = 27+18+84.
+	if got := s.WeightedOverhead(c); got != 129 {
+		t.Errorf("weighted overhead = %d, want 129", got)
+	}
+	// saves 5*2 + restores 6*3 + jumps 7*12 = 10+18+84.
+	if got := s.SaveRestoreCost(c); got != 112 {
+		t.Errorf("save/restore cost = %d, want 112", got)
 	}
 }

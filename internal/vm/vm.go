@@ -46,8 +46,28 @@ type Stats struct {
 
 // Overhead is the total dynamic spill code overhead: all spill loads
 // and stores, callee-saved saves and restores, and jump-block jumps.
+// It equals WeightedOverhead under the paper's unit costs.
 func (s *Stats) Overhead() int64 {
 	return s.SpillLoads + s.SpillStores + s.Saves + s.Restores + s.JumpBlockJmps
+}
+
+// WeightedOverhead prices the measured overhead classes with a
+// machine's cost surface: memory reads (spill loads, restores) at the
+// spill-load latency, memory writes (spill stores, saves) at the
+// spill-store latency, and jump-block jumps at the taken-jump penalty.
+// This is the same pricing the placement cost models use
+// (core.MachineModel), so for a placement whose profile matches the
+// run, model and machine agree cycle for cycle.
+func (s *Stats) WeightedOverhead(c machine.Costs) int64 {
+	return c.Price(s.SpillLoads+s.Restores, s.SpillStores+s.Saves, s.JumpBlockJmps)
+}
+
+// SaveRestoreCost prices only the callee-saved placement classes —
+// saves, restores, and jump-block jumps — leaving out allocator spill
+// traffic. This is the quantity the placement models predict, so it is
+// what the oracle's model-vs-measured exactness check compares.
+func (s *Stats) SaveRestoreCost(c machine.Costs) int64 {
+	return c.Price(s.Restores, s.Saves, s.JumpBlockJmps)
 }
 
 // Snapshot deep-copies the stats. A plain struct copy would alias the

@@ -82,6 +82,10 @@ type Result struct {
 	// Overhead is the dynamic spill code overhead: executed spill
 	// loads/stores, callee-saved saves/restores, and jump-block jumps.
 	Overhead int64
+	// Cost is the overhead priced with the machine's cost surface
+	// (spill latencies, taken-jump penalty). On the default machine —
+	// unit costs, like the paper's — it equals Overhead.
+	Cost int64
 	// Breakdown of the overhead.
 	SpillLoads, SpillStores int64
 	Saves, Restores         int64
@@ -127,18 +131,47 @@ func ParseProgram(src string) (*Program, error) {
 }
 
 // Machine returns the target description (PA-RISC-like: 24 allocatable
-// registers, 13 callee-saved).
+// registers, 13 callee-saved) and its cost surface.
 func (p *Program) Machine() MachineInfo {
 	return MachineInfo{
+		Name:        p.mach.Name,
 		Registers:   p.mach.NumRegs,
 		CalleeSaved: p.mach.NumCalleeSaved(),
+		Costs:       p.mach.Costs,
 	}
 }
 
 // MachineInfo describes the modeled target.
 type MachineInfo struct {
+	Name        string
 	Registers   int
 	CalleeSaved int
+	// Costs prices the target's spill overhead (see internal/machine):
+	// the placement cost models optimize it and Result.Cost reports
+	// measured overhead priced with it.
+	Costs machine.Costs
+}
+
+// Machines lists the named machine cost presets UseMachine accepts,
+// in report order. Every preset shares the PA-RISC register file and
+// differs only in its cost surface.
+func Machines() []string { return machine.PresetNames() }
+
+// UseMachine retargets the pipeline to a named machine cost preset
+// (see Machines): the hierarchical strategies optimize the preset's
+// latencies and Result.Cost prices measured overhead with them. It
+// must be called before Allocate so every later stage sees one
+// consistent machine.
+func (p *Program) UseMachine(name string) error {
+	if p.allocated {
+		return fmt.Errorf("spillopt: UseMachine must run before Allocate")
+	}
+	d, err := machine.Preset(name)
+	if err != nil {
+		return err
+	}
+	p.mach = d
+	return nil
 }
 
 // Profile executes the program once with the given arguments and
@@ -187,8 +220,10 @@ func (p *Program) Place(s Strategy) error {
 	}
 	// Each placement reads and mutates only its own function, so the
 	// per-function pipeline (PST build, shrink-wrap seed, hierarchical
-	// traversal, validation, apply) fans out across the pool.
-	if err := strategy.PlaceProgramCached(p.prog, computeStrategy(s), p.Parallelism, p.cache); err != nil {
+	// traversal, validation, apply) fans out across the pool. The
+	// machine description carries the cost surface the hierarchical
+	// strategies optimize.
+	if err := strategy.PlaceProgramFor(p.prog, computeStrategy(s), p.mach, p.Parallelism, p.cache); err != nil {
 		return err
 	}
 	p.placed = true
@@ -207,10 +242,11 @@ func (p *Program) Functions() []string {
 
 // PlacementCost returns, without mutating the program, the modeled
 // dynamic overhead of a strategy's placement for one function under
-// the jump edge cost model. Useful for comparing strategies cheaply.
+// the machine's jump edge cost model (on the default machine, the
+// paper's unit-cost model). Useful for comparing strategies cheaply.
 // For a placement with no jump blocks (EntryExit always qualifies)
 // the model is exact: summed over all functions it equals the
-// save/restore overhead a Run with the profiling arguments measures.
+// save/restore cost a Run with the profiling arguments measures.
 func (p *Program) PlacementCost(funcName string, s Strategy) (int64, error) {
 	f := p.prog.Func(funcName)
 	if f == nil {
@@ -219,11 +255,11 @@ func (p *Program) PlacementCost(funcName string, s Strategy) (int64, error) {
 	if !p.allocated && len(f.UsedCalleeSaved) == 0 {
 		return 0, fmt.Errorf("spillopt: %s not allocated", funcName)
 	}
-	sets, err := strategy.ComputeCached(f, computeStrategy(s), p.cache.For(f))
+	sets, err := strategy.ComputeCachedFor(f, computeStrategy(s), p.cache.For(f), p.mach)
 	if err != nil {
 		return 0, err
 	}
-	return core.TotalCost(core.JumpEdgeModel{}, sets), nil
+	return core.TotalCost(core.MachineModel{Desc: p.mach, ChargeJumps: true}, sets), nil
 }
 
 // Run executes the program under callee-saved convention enforcement
@@ -240,6 +276,7 @@ func (p *Program) Run(args ...int64) (*Result, error) {
 		Value:          v,
 		Instrs:         st.Instrs,
 		Overhead:       st.Overhead(),
+		Cost:           st.WeightedOverhead(p.mach.Costs),
 		SpillLoads:     st.SpillLoads,
 		SpillStores:    st.SpillStores,
 		Saves:          st.Saves,

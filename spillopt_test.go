@@ -204,6 +204,73 @@ func TestMachineInfo(t *testing.T) {
 	}
 }
 
+// TestUseMachine: retargeting to a machine cost preset prices
+// Result.Cost with the preset's latencies, keeps measured counts
+// identical to the default machine (the presets share one register
+// file), and enforces the pipeline order.
+func TestUseMachine(t *testing.T) {
+	if len(Machines()) < 4 {
+		t.Fatalf("Machines() = %v, want the preset catalog", Machines())
+	}
+	runOn := func(mach string) *Result {
+		p, err := ParseProgram(demoSrc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if mach != "" {
+			if err := p.UseMachine(mach); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := p.Profile(100); err != nil {
+			t.Fatal(err)
+		}
+		if err := p.Allocate(); err != nil {
+			t.Fatal(err)
+		}
+		if err := p.Place(HierarchicalJump); err != nil {
+			t.Fatal(err)
+		}
+		res, err := p.Run(100)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if mach != "" && p.Machine().Name != mach {
+			t.Errorf("Machine().Name = %q, want %q", p.Machine().Name, mach)
+		}
+		return res
+	}
+	def := runOn("")
+	if def.Cost != def.Overhead {
+		t.Errorf("default machine cost %d != overhead %d (unit costs)", def.Cost, def.Overhead)
+	}
+	deep := runOn("deep-pipeline") // st2/ld3/j12
+	if deep.Value != def.Value {
+		t.Errorf("deep-pipeline computes %d, want %d", deep.Value, def.Value)
+	}
+	want := (deep.Saves+deep.SpillStores)*2 + (deep.Restores+deep.SpillLoads)*3 + deep.JumpBlockJumps*12
+	if deep.Cost != want {
+		t.Errorf("deep-pipeline cost %d, want %d from class counts", deep.Cost, want)
+	}
+
+	p, err := ParseProgram(demoSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.UseMachine("warp-drive"); err == nil {
+		t.Error("unknown preset should error")
+	}
+	if err := p.Profile(100); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Allocate(); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.UseMachine("classic"); err == nil {
+		t.Error("UseMachine after Allocate should error")
+	}
+}
+
 func TestDotExports(t *testing.T) {
 	p, _ := pipeline(t, HierarchicalJump)
 	cfg, err := p.DotCFG("work")
