@@ -4,6 +4,7 @@
 //
 //	benchdiff -vm BENCH_vm.json             # engine throughput gate
 //	benchdiff -machines BENCH_machines.json # multi-machine sweep gate
+//	benchdiff -analysis BENCH_analysis.json # incremental analysis gate
 //	benchdiff -vm ... -machines ... -threshold 15
 //	benchdiff -machines ... -inject 20      # self-test: must fail
 //
@@ -11,9 +12,11 @@
 // speed cancels) and the deterministic per-run instruction counts; the
 // machines gate compares the deterministic weighted overheads of every
 // (machine preset, strategy) pair and the analysis build counters that
-// prove the sweep shares analyses across presets. -inject degrades the
-// fresh numbers by the given percentage so the CI job can prove the
-// gate actually trips.
+// prove the sweep shares analyses across presets; the analysis gate
+// compares the cold-over-incremental re-placement speedup (host speed
+// cancels), its absolute 3x floor, and the zero-full-rebuild property
+// of the delta patchers. -inject degrades the fresh numbers by the
+// given percentage so the CI job can prove the gate actually trips.
 package main
 
 import (
@@ -29,14 +32,15 @@ import (
 func main() {
 	vmPath := flag.String("vm", "", "committed BENCH_vm.json to gate against")
 	machPath := flag.String("machines", "", "committed BENCH_machines.json to gate against")
+	analysisPath := flag.String("analysis", "", "committed BENCH_analysis.json to gate against")
 	threshold := flag.Float64("threshold", 15, "allowed regression in percent")
 	reps := flag.Int("reps", 1, "VM executions per benchmark per engine for the fresh -vm run")
 	jobs := flag.Int("j", 0, "worker pool size (0 = GOMAXPROCS)")
 	inject := flag.Float64("inject", 0, "artificially degrade the fresh numbers by this percentage (gate self-test)")
 	flag.Parse()
 
-	if *vmPath == "" && *machPath == "" {
-		fmt.Fprintln(os.Stderr, "benchdiff: nothing to compare; pass -vm and/or -machines")
+	if *vmPath == "" && *machPath == "" && *analysisPath == "" {
+		fmt.Fprintln(os.Stderr, "benchdiff: nothing to compare; pass -vm, -machines, and/or -analysis")
 		os.Exit(2)
 	}
 
@@ -74,6 +78,21 @@ func main() {
 			fmt.Println()
 		}
 		findings = append(findings, bench.CompareSweep(&committed, fresh, *threshold)...)
+	}
+
+	if *analysisPath != "" {
+		var committed bench.AnalysisBench
+		readJSON(*analysisPath, &committed)
+		fresh, err := bench.BenchAnalysis(workload.SPECInt2000(), *reps)
+		if err != nil {
+			fatal(err)
+		}
+		if *inject > 0 {
+			bench.InjectAnalysisRegression(fresh, *inject)
+		}
+		fmt.Printf("analysis: committed incremental speedup %.2fx, fresh %.2fx (shared %.2fx, rebuild fallbacks %d)\n",
+			committed.IncrementalSpeedup, fresh.IncrementalSpeedup, fresh.SharedSpeedup, fresh.Rebuilds)
+		findings = append(findings, bench.CompareAnalysis(&committed, fresh, *threshold)...)
 	}
 
 	if len(findings) > 0 {

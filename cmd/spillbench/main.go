@@ -17,6 +17,11 @@
 //	                                # per-machine tables + crossover
 //	spillbench -machines all -json BENCH_machines.json
 //	                                # record the sweep for the CI gate
+//	spillbench -analysis            # benchmark the analysis layer:
+//	                                # cold vs shared vs incremental
+//	                                # re-placement after an edit
+//	spillbench -analysis -json BENCH_analysis.json
+//	                                # record it for the CI gate
 package main
 
 import (
@@ -43,6 +48,7 @@ func main() {
 	jsonOut := flag.String("json", "", "instead of the tables: benchmark both VM engines on the placed suite and write the JSON record here (e.g. BENCH_vm.json); with -machines, write the sweep record instead (e.g. BENCH_machines.json)")
 	reps := flag.Int("reps", 3, "with -json: VM executions per benchmark per engine")
 	machines := flag.String("machines", "", "sweep these machine cost presets (comma-separated, or \"all\") and print per-machine tables plus the crossover report")
+	analysisBench := flag.Bool("analysis", false, "benchmark the analysis layer (cold vs shared vs incremental re-placement); with -json, write the record (e.g. BENCH_analysis.json)")
 	flag.Parse()
 
 	eng, err := vm.ParseEngine(*engine)
@@ -73,6 +79,36 @@ func main() {
 			entries = filtered
 		}
 		return entries
+	}
+
+	if *analysisBench {
+		rec, err := bench.BenchAnalysis(workload.SPECInt2000(), *reps)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "spillbench: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("%-10s %12s %12s %12s\n", "benchmark", "cold", "shared", "incremental")
+		for _, r := range rec.Benchmarks {
+			fmt.Printf("%-10s %10.3fms %10.3fms %10.3fms\n",
+				r.Benchmark, float64(r.ColdNs)/1e6, float64(r.SharedNs)/1e6, float64(r.IncrementalNs)/1e6)
+		}
+		fmt.Printf("%-10s %10.3fms %10.3fms %10.3fms\n", "Total",
+			float64(rec.ColdNs)/1e6, float64(rec.SharedNs)/1e6, float64(rec.IncrementalNs)/1e6)
+		fmt.Printf("speedup over cold: shared %.2fx, incremental %.2fx; full-rebuild fallbacks: %d\n",
+			rec.SharedSpeedup, rec.IncrementalSpeedup, rec.Rebuilds)
+		if *jsonOut != "" {
+			data, err := rec.JSON()
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "spillbench: %v\n", err)
+				os.Exit(1)
+			}
+			if err := os.WriteFile(*jsonOut, data, 0o644); err != nil {
+				fmt.Fprintf(os.Stderr, "spillbench: %v\n", err)
+				os.Exit(1)
+			}
+			fmt.Printf("recorded in %s\n", *jsonOut)
+		}
+		return
 	}
 
 	if *machines != "" {

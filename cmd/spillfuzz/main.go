@@ -24,6 +24,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/analysis"
 	"repro/internal/ir"
 	"repro/internal/irgen"
 	"repro/internal/irtext"
@@ -77,12 +78,16 @@ func main() {
 	var checked, interesting int
 	var dynInstrs int64
 
+	// One analysis cache spans the whole sweep: every seed's five
+	// strategies read it, and its counters aggregated over the sweep
+	// prove each function's analyses were built once, not per strategy.
+	cache := analysis.NewCache()
 	_ = par.Do(*n, *jobs, func(i int) error {
 		seed := *base + uint64(i)
 		prog := irgen.Generate(seed, cfg)
 		// Seeds already fan out across the pool; a nested GOMAXPROCS
 		// allocation pool per check would only oversubscribe.
-		r := irgen.Check(prog, irgen.Options{Args: []int64{int64(seed % 17)}, Parallelism: 1, Engine: eng})
+		r := irgen.Check(prog, irgen.Options{Args: []int64{int64(seed % 17)}, Parallelism: 1, Engine: eng, Cache: cache})
 		mu.Lock()
 		defer mu.Unlock()
 		checked++
@@ -102,6 +107,10 @@ func main() {
 	sort.Slice(failures, func(i, j int) bool { return failures[i].seed < failures[j].seed })
 	fmt.Printf("spillfuzz: %d seeds in %v, %d with callee-saved placement, %d dynamic instrs, %d failures\n",
 		checked, time.Since(start).Round(time.Millisecond), interesting, dynInstrs, len(failures))
+	hits, misses := cache.Stats()
+	c := cache.Counts()
+	fmt.Printf("spillfuzz: analysis cache %d hits / %d misses; builds: liveness=%d dom=%d loops=%d pst=%d seed=%d\n",
+		hits, misses, c.Liveness, c.Dom, c.Loops, c.PST, c.Seed)
 
 	for i, f := range failures {
 		fmt.Printf("seed %d:\n", f.seed)

@@ -14,6 +14,7 @@ import (
 	"math/rand"
 	"os"
 
+	"repro/internal/analysis"
 	"repro/internal/bench"
 	"repro/internal/par"
 	"repro/internal/workload"
@@ -53,13 +54,22 @@ func main() {
 	err := par.Do(len(jobsList), *jobs, func(i int) error {
 		base := jobsList[i].base
 		rng := rand.New(rand.NewSource(*seed + int64(jobsList[i].pos)))
-		best, bestScore := tune(base, *trials, rng)
-		opt, sw, err := measure(best)
+		// One analysis cache serves every trial of this benchmark's hill
+		// climb: within a trial it shares liveness/dom/loops/PST across
+		// the five strategies and the validator, and its counters prove
+		// the search never rebuilds an analysis it already has.
+		cache := analysis.NewCache()
+		best, bestScore := tune(base, *trials, rng, cache)
+		opt, sw, err := measure(best, cache)
 		if err != nil {
 			return fmt.Errorf("%s: %w", base.Name, err)
 		}
-		lines[i] = fmt.Sprintf("%-8s score=%6.2f  opt=%6.1f%% (want %5.1f)  sw=%6.1f%% (want %5.1f)\n  %+v\n",
-			base.Name, bestScore, opt, target[base.Name][0], sw, target[base.Name][1], best)
+		hits, misses := cache.Stats()
+		c := cache.Counts()
+		lines[i] = fmt.Sprintf("%-8s score=%6.2f  opt=%6.1f%% (want %5.1f)  sw=%6.1f%% (want %5.1f)\n  %+v\n"+
+			"  analysis cache: %d hits / %d misses; builds: liveness=%d dom=%d loops=%d pst=%d seed=%d; delta: patched=%d full=%d\n",
+			base.Name, bestScore, opt, target[base.Name][0], sw, target[base.Name][1], best,
+			hits, misses, c.Liveness, c.Dom, c.Loops, c.PST, c.Seed, c.DeltaPatched, c.DeltaFull)
 		return nil
 	})
 	if err != nil {
@@ -71,20 +81,20 @@ func main() {
 	}
 }
 
-func tune(base workload.BenchParams, trials int, rng *rand.Rand) (workload.BenchParams, float64) {
+func tune(base workload.BenchParams, trials int, rng *rand.Rand, cache *analysis.Cache) (workload.BenchParams, float64) {
 	best := base
-	bestScore := score(base)
+	bestScore := score(base, cache)
 	for i := 0; i < trials; i++ {
 		cand := perturb(best, rng)
-		if s := score(cand); s < bestScore {
+		if s := score(cand, cache); s < bestScore {
 			best, bestScore = cand, s
 		}
 	}
 	return best, bestScore
 }
 
-func score(p workload.BenchParams) float64 {
-	opt, sw, err := measure(p)
+func score(p workload.BenchParams, cache *analysis.Cache) float64 {
+	opt, sw, err := measure(p, cache)
 	if err != nil {
 		return math.Inf(1)
 	}
@@ -93,8 +103,8 @@ func score(p workload.BenchParams) float64 {
 	return 1.5*math.Abs(opt-t[0]) + math.Abs(sw-t[1])
 }
 
-func measure(p workload.BenchParams) (opt, sw float64, err error) {
-	r, err := bench.Run(p)
+func measure(p workload.BenchParams, cache *analysis.Cache) (opt, sw float64, err error) {
+	r, err := bench.RunWithOptions(p, bench.Options{Cache: cache})
 	if err != nil {
 		return 0, 0, err
 	}

@@ -36,8 +36,19 @@ import (
 // Counts reports how many times each underlying analysis has been
 // built over the Info's lifetime (cumulative across invalidations).
 // The tests use it to pin the "at most once per function" guarantee.
+//
+// SplitDom counts how often the PST builder computed the split-graph
+// dominator/postdominator tree pair — the expensive core of a PST
+// build, memoized across invalidations while the CFG shape is
+// unchanged, so it can stay flat even when PST advances. DeltaPatched
+// and DeltaFull count ApplyDelta outcomes: in-place patches versus
+// falls back to full invalidation.
 type Counts struct {
 	Liveness, Dom, Loops, PST, Seed, Busy int
+
+	SplitDom     int
+	DeltaPatched int
+	DeltaFull    int
 }
 
 // Info is a per-function handle over the memoized analyses.
@@ -55,6 +66,12 @@ type Info struct {
 	seedOK  bool
 	busy    map[ir.Reg][]bool
 	counts  Counts
+
+	// builder survives Invalidate: it revalidates itself against the
+	// live CFG shape, so a PST rebuild after an invalidation that did
+	// not change the CFG (e.g. register allocation) reuses the
+	// memoized split-graph dominator trees instead of recomputing.
+	builder *pst.Builder
 }
 
 // For returns a fresh handle for f with nothing memoized. Callers that
@@ -111,13 +128,23 @@ func (i *Info) loopsLocked() *cfg.LoopForest {
 }
 
 // PST returns the program structure tree of maximal SESE regions. The
-// build error, if any, is memoized too.
+// build error, if any, is memoized too. Builds go through a retained
+// pst.Builder, so the split-graph dominator trees are recomputed only
+// when the CFG shape actually changed (Counts.SplitDom tracks this).
 func (i *Info) PST() (*pst.PST, error) {
 	i.mu.Lock()
 	defer i.mu.Unlock()
+	return i.pstLocked()
+}
+
+func (i *Info) pstLocked() (*pst.PST, error) {
 	if !i.treeOK {
 		i.counts.PST++
-		i.tree, i.treeErr = pst.Build(i.f)
+		if i.builder == nil {
+			i.builder = pst.NewBuilder(i.f)
+		}
+		i.tree, i.treeErr = i.builder.Build()
+		i.counts.SplitDom = i.builder.SplitDomBuilds()
 		i.treeOK = true
 	}
 	return i.tree, i.treeErr
@@ -171,10 +198,17 @@ func (i *Info) busyLocked(reg ir.Reg) []bool {
 func (i *Info) Invalidate() {
 	i.mu.Lock()
 	defer i.mu.Unlock()
+	i.invalidateLocked()
+}
+
+func (i *Info) invalidateLocked() {
 	i.lv, i.dom, i.loops = nil, nil, nil
 	i.tree, i.treeErr, i.treeOK = nil, nil, false
 	i.seed, i.seedOK = nil, false
 	i.busy = nil
+	// i.builder is kept: it self-validates against the CFG shape, so a
+	// stale memo can never be served, and an invalidation that did not
+	// touch the CFG gets its PST back without a dominator recompute.
 }
 
 // Counts returns the cumulative build counters.

@@ -12,8 +12,9 @@ import (
 // of the function they own. For is safe for concurrent use; the Infos
 // it returns carry their own locking.
 type Cache struct {
-	mu sync.Mutex
-	m  map[*ir.Func]*Info
+	mu           sync.Mutex
+	m            map[*ir.Func]*Info
+	hits, misses int
 }
 
 // NewCache returns an empty cache.
@@ -30,10 +31,25 @@ func (c *Cache) For(f *ir.Func) *Info {
 	defer c.mu.Unlock()
 	info := c.m[f]
 	if info == nil {
+		c.misses++
 		info = For(f)
 		c.m[f] = info
+	} else {
+		c.hits++
 	}
 	return info
+}
+
+// Stats returns how many For lookups found an existing Info (hits)
+// versus created one (misses). Tools that share one cache across
+// repeated runs report these to show the sharing actually happened.
+func (c *Cache) Stats() (hits, misses int) {
+	if c == nil {
+		return 0, 0
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.hits, c.misses
 }
 
 // Counts sums the cumulative build counters of every memoized Info.
@@ -62,6 +78,9 @@ func (c *Cache) Counts() Counts {
 		total.PST += n.PST
 		total.Seed += n.Seed
 		total.Busy += n.Busy
+		total.SplitDom += n.SplitDom
+		total.DeltaPatched += n.DeltaPatched
+		total.DeltaFull += n.DeltaFull
 	}
 	return total
 }

@@ -98,6 +98,16 @@ type Result struct {
 	Instrs     int
 	// SpilledVregs counts allocator-spilled virtual registers.
 	SpilledVregs int
+	// ReplaceCold, ReplaceShared, and ReplaceIncremental time
+	// re-placing the paper's configuration after its own placement edit
+	// (summed over all functions): cold recomputes every analysis from
+	// scratch, shared reads a fully warmed cache, and incremental
+	// patches the warmed cache through core.Delta + ApplyDelta and
+	// recomputes only the derived seed. Table 2's re-placement columns.
+	ReplaceCold, ReplaceShared, ReplaceIncremental time.Duration
+	// ReplaceRebuilds counts functions whose incremental re-placement
+	// fell back to a full analysis rebuild; 0 in a healthy tree.
+	ReplaceRebuilds int
 }
 
 // Ratio returns overhead(s) / overhead(Baseline) as a percentage.
@@ -139,6 +149,11 @@ type Options struct {
 	// prove it); only PlacementTime changes. Kept as the A/B reference
 	// for the analysis-layer speedup (spillbench -unshared).
 	Unshared bool
+	// Cache, when non-nil, is used as the shared analysis layer instead
+	// of a fresh per-entry cache, so a caller running many entries (for
+	// example spilltune's per-trial loop) can accumulate the sharing
+	// counters across runs in one place. Ignored when Unshared is set.
+	Cache *analysis.Cache
 }
 
 // Entry is one measurable program: a name for the reports and a
@@ -233,7 +248,9 @@ func RunEntry(e Entry, opts Options) (*Result, error) {
 	clones := make([]*ir.Program, numStrategies)
 	var cache *analysis.Cache // nil (no sharing) when opts.Unshared
 	if !opts.Unshared {
-		cache = analysis.NewCache()
+		if cache = opts.Cache; cache == nil {
+			cache = analysis.NewCache()
+		}
 	}
 	funcs := strategy.NeedsPlacement(prog)
 	for _, s := range Strategies {
@@ -248,6 +265,18 @@ func RunEntry(e Entry, opts Options) (*Result, error) {
 		}
 		clones[s] = clone
 	}
+
+	// Re-placement timing (Table 2's incremental columns) runs on its
+	// own clone, serially, after the timed placements above and before
+	// the VM fan-out, so it never contends with either.
+	coldNs, sharedNs, incNs, rebuilds, _, err := measureReplacement(prog.Clone())
+	if err != nil {
+		return nil, fmt.Errorf("bench %s: re-placement: %w", e.Name, err)
+	}
+	res.ReplaceCold = time.Duration(coldNs)
+	res.ReplaceShared = time.Duration(sharedNs)
+	res.ReplaceIncremental = time.Duration(incNs)
+	res.ReplaceRebuilds = rebuilds
 
 	// Every strategy executes on its own clone in its own VM, so the
 	// four measurement runs fan out across the pool. Each slot is
@@ -314,6 +343,63 @@ func computeSets(funcs []*ir.Func, s Strategy, parallelism int, cache *analysis.
 		return nil, 0, err
 	}
 	return sets, elapsed, nil
+}
+
+// measureReplacement measures the cost of re-placing the paper's
+// configuration (HierarchicalJump) after its own placement edit, for
+// every function of prog that needs placement. Per function it places
+// once untimed through the delta path, then times three re-placements
+// of the edited function:
+//
+//   - incremental: ApplyDelta patches the warmed analyses in place and
+//     the compute rebuilds only the derived shrink-wrap seed;
+//   - shared: a second compute over the now fully warmed handle (the
+//     floor — pure hierarchical traversal);
+//   - cold: a compute over a fresh handle, rebuilding liveness,
+//     dominators, loops, the PST, and the seed from scratch.
+//
+// rebuilds counts functions whose incremental pass performed any full
+// analysis rebuild (checked via analysis.Counts); a healthy tree
+// reports 0. The sums feed Table 2 and the BENCH_analysis.json gate.
+func measureReplacement(prog *ir.Program) (coldNs, sharedNs, incNs int64, rebuilds, funcs int, err error) {
+	for _, f := range strategy.NeedsPlacement(prog) {
+		info := analysis.For(f)
+		sets, err := strategy.ComputeCached(f, strategy.HierarchicalJump, info)
+		if err != nil {
+			return 0, 0, 0, 0, 0, fmt.Errorf("%s: %w", f.Name, err)
+		}
+		delta, err := core.ApplyWithDelta(f, sets)
+		if err != nil {
+			return 0, 0, 0, 0, 0, fmt.Errorf("%s: %w", f.Name, err)
+		}
+		funcs++
+
+		before := info.Counts()
+		start := time.Now()
+		info.ApplyDelta(delta)
+		if _, err := strategy.ComputeCached(f, strategy.HierarchicalJump, info); err != nil {
+			return 0, 0, 0, 0, 0, fmt.Errorf("%s: incremental: %w", f.Name, err)
+		}
+		incNs += time.Since(start).Nanoseconds()
+		after := info.Counts()
+		if after.Liveness != before.Liveness || after.Dom != before.Dom ||
+			after.Loops != before.Loops || after.PST != before.PST || after.SplitDom != before.SplitDom {
+			rebuilds++
+		}
+
+		start = time.Now()
+		if _, err := strategy.ComputeCached(f, strategy.HierarchicalJump, info); err != nil {
+			return 0, 0, 0, 0, 0, fmt.Errorf("%s: shared: %w", f.Name, err)
+		}
+		sharedNs += time.Since(start).Nanoseconds()
+
+		start = time.Now()
+		if _, err := strategy.ComputeCached(f, strategy.HierarchicalJump, analysis.For(f)); err != nil {
+			return 0, 0, 0, 0, 0, fmt.Errorf("%s: cold: %w", f.Name, err)
+		}
+		coldNs += time.Since(start).Nanoseconds()
+	}
+	return coldNs, sharedNs, incNs, rebuilds, funcs, nil
 }
 
 // place computes, validates, and applies one strategy's placement to

@@ -153,6 +153,64 @@ func compareCount(where, what string, committed, fresh int64, thresholdPct float
 	return nil
 }
 
+// CompareAnalysis diffs a fresh analysis-layer benchmark against the
+// committed record. Absolute nanoseconds depend on the host, so the
+// gate compares host-independent quantities:
+//
+//   - incremental re-placement must stay at least 3x faster than cold
+//     re-placement (the floor the delta layer is built to clear);
+//   - the cold-over-incremental speedup must not regress more than
+//     thresholdPct percent below the committed ratio (both paths run
+//     on the same host in the same process, so host speed cancels);
+//   - no function's incremental re-placement may fall back to a full
+//     rebuild — that means a placement edit the patchers stopped
+//     recognizing.
+func CompareAnalysis(committed, fresh *AnalysisBench, thresholdPct float64) []string {
+	var findings []string
+	if fresh.Rebuilds > 0 {
+		findings = append(findings, fmt.Sprintf(
+			"analysis: %d incremental re-placements fell back to full rebuilds — ApplyDelta stopped recognizing placement edits",
+			fresh.Rebuilds))
+	}
+	if fresh.IncrementalSpeedup < 3 {
+		findings = append(findings, fmt.Sprintf(
+			"analysis: incremental re-placement only %.2fx faster than cold, below the 3x floor",
+			fresh.IncrementalSpeedup))
+	}
+	if committed.IncrementalSpeedup > 0 {
+		floor := committed.IncrementalSpeedup * (1 - thresholdPct/100)
+		if fresh.IncrementalSpeedup < floor {
+			findings = append(findings, fmt.Sprintf(
+				"analysis: incremental speedup %.2fx regressed more than %.0f%% below committed %.2fx (floor %.2fx)",
+				fresh.IncrementalSpeedup, thresholdPct, committed.IncrementalSpeedup, floor))
+		}
+	}
+	cb := make(map[string]int, len(committed.Benchmarks))
+	for _, r := range committed.Benchmarks {
+		cb[r.Benchmark] = r.Functions
+	}
+	for _, r := range fresh.Benchmarks {
+		if n, ok := cb[r.Benchmark]; !ok {
+			findings = append(findings, fmt.Sprintf(
+				"analysis: benchmark %q missing from committed record — regenerate BENCH_analysis.json", r.Benchmark))
+		} else if n != r.Functions {
+			findings = append(findings, fmt.Sprintf(
+				"analysis: %s covers %d functions, committed record says %d — regenerate BENCH_analysis.json",
+				r.Benchmark, r.Functions, n))
+		}
+	}
+	return findings
+}
+
+// InjectAnalysisRegression artificially degrades a fresh analysis
+// record by pct percent, for the gate's self-test.
+func InjectAnalysisRegression(b *AnalysisBench, pct float64) {
+	b.IncrementalNs = int64(float64(b.IncrementalNs) * (1 + pct/100))
+	b.SharedNs = int64(float64(b.SharedNs) * (1 + pct/100))
+	b.SharedSpeedup /= 1 + pct/100
+	b.IncrementalSpeedup /= 1 + pct/100
+}
+
 // InjectVMRegression artificially degrades a fresh VM record by pct
 // percent. The CI gate's self-test uses it to prove the gate trips on
 // a regression instead of rubber-stamping everything.

@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"repro/internal/machine"
+	"repro/internal/workload"
 )
 
 func freshSweepRecord(t *testing.T) *SweepRecord {
@@ -118,6 +119,108 @@ func TestGateVMSpeedupRatio(t *testing.T) {
 	InjectVMRegression(fresh, 20)
 	if findings := CompareVM(committed, fresh, 15); len(findings) == 0 {
 		t.Error("injected 20% VM regression passed a 15% gate")
+	}
+}
+
+// workloadSuite trims the stand-in suite to two benchmarks so the
+// end-to-end analysis benchmark stays fast under `go test`.
+func workloadSuite(t *testing.T) []workload.BenchParams {
+	t.Helper()
+	var suite []workload.BenchParams
+	for _, p := range workload.SPECInt2000() {
+		if p.Name == "gzip" || p.Name == "mcf" {
+			suite = append(suite, p)
+		}
+	}
+	return suite
+}
+
+func analysisRecord(incSpeedup float64) *AnalysisBench {
+	return &AnalysisBench{
+		Benchmarks: []AnalysisRecord{
+			{Benchmark: "gzip", Functions: 40, ColdNs: 40_000_000, SharedNs: 9_000_000, IncrementalNs: int64(40_000_000 / incSpeedup)},
+		},
+		ColdNs:             40_000_000,
+		SharedNs:           9_000_000,
+		IncrementalNs:      int64(40_000_000 / incSpeedup),
+		SharedSpeedup:      40.0 / 9.0,
+		IncrementalSpeedup: incSpeedup,
+	}
+}
+
+// TestGateAnalysisSpeedup: the analysis gate trips when the incremental
+// re-placement speedup regresses past the threshold or drops below the
+// absolute 3x floor, and stays quiet on a healthy record.
+func TestGateAnalysisSpeedup(t *testing.T) {
+	committed := analysisRecord(8)
+	if findings := CompareAnalysis(committed, analysisRecord(7.5), 15); len(findings) != 0 {
+		t.Errorf("6%% ratio drop tripped a 15%% gate: %v", findings)
+	}
+	if findings := CompareAnalysis(committed, analysisRecord(5), 15); len(findings) == 0 {
+		t.Error("37% ratio drop passed a 15% gate")
+	}
+	if findings := CompareAnalysis(committed, analysisRecord(2.5), 15); len(findings) == 0 {
+		t.Error("speedup below the 3x floor passed the gate")
+	}
+	fresh := analysisRecord(8)
+	InjectAnalysisRegression(fresh, 20)
+	if findings := CompareAnalysis(committed, fresh, 15); len(findings) == 0 {
+		t.Error("injected 20% analysis regression passed a 15% gate")
+	}
+}
+
+// TestGateAnalysisRebuildFallbacks: any incremental re-placement that
+// fell back to a full analysis rebuild is a finding — it means a
+// placement edit shape the delta patchers stopped recognizing.
+func TestGateAnalysisRebuildFallbacks(t *testing.T) {
+	committed := analysisRecord(8)
+	fresh := analysisRecord(8)
+	fresh.Rebuilds = 1
+	if findings := CompareAnalysis(committed, fresh, 15); len(findings) == 0 {
+		t.Error("gate passed a record with full-rebuild fallbacks")
+	}
+}
+
+// TestGateAnalysisSuiteDrift: a fresh record covering a benchmark or
+// function population the committed record does not know is a finding.
+func TestGateAnalysisSuiteDrift(t *testing.T) {
+	committed := analysisRecord(8)
+	fresh := analysisRecord(8)
+	fresh.Benchmarks[0].Functions++
+	if findings := CompareAnalysis(committed, fresh, 15); len(findings) == 0 {
+		t.Error("gate passed a function-count drift")
+	}
+	fresh = analysisRecord(8)
+	fresh.Benchmarks[0].Benchmark = "vpr"
+	if findings := CompareAnalysis(committed, fresh, 15); len(findings) == 0 {
+		t.Error("gate passed an unknown benchmark")
+	}
+}
+
+// TestBenchAnalysisEndToEnd: the analysis benchmark itself runs over a
+// small generated suite, measures a real incremental advantage, and
+// records zero full-rebuild fallbacks — the live half of the acceptance
+// criterion the JSON gate pins.
+func TestBenchAnalysisEndToEnd(t *testing.T) {
+	suite := workloadSuite(t)
+	b, err := BenchAnalysis(suite, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Rebuilds != 0 {
+		t.Errorf("incremental re-placement fell back to %d full rebuilds", b.Rebuilds)
+	}
+	if b.IncrementalSpeedup <= 1 {
+		t.Errorf("incremental re-placement slower than cold: %.2fx", b.IncrementalSpeedup)
+	}
+	if len(b.Benchmarks) != len(suite) {
+		t.Errorf("record covers %d benchmarks, suite has %d", len(b.Benchmarks), len(suite))
+	}
+	if findings := CompareAnalysis(b, b, 15); b.IncrementalSpeedup >= 3 && len(findings) != 0 {
+		t.Errorf("self-comparison produced findings: %v", findings)
+	}
+	if _, err := b.JSON(); err != nil {
+		t.Fatal(err)
 	}
 }
 

@@ -83,6 +83,37 @@ func Table2(results []*Result) string {
 		}
 	}
 	fmt.Fprintf(&b, "\nTotal placement compute time, all %d strategies: %.3fms\n", len(Strategies), total)
+
+	// Re-placement: the cost of computing the optimized placement again
+	// after a one-edge edit to an already-placed function — cold (fresh
+	// analyses), shared (warm cache), and incremental (analyses patched
+	// via core.Delta instead of rebuilt).
+	b.WriteString("\nRe-placement after edit: cold vs shared vs incremental analyses\n\n")
+	fmt.Fprintf(&b, "%-10s %15s %15s %15s %9s %9s\n",
+		"benchmark", "Cold", "Shared", "Incremental", "Cold/Inc", "rebuilds")
+	var sumCold, sumShared, sumInc float64
+	rebuilds := 0
+	for _, r := range results {
+		cold := r.ReplaceCold.Seconds() * 1e3
+		shared := r.ReplaceShared.Seconds() * 1e3
+		inc := r.ReplaceIncremental.Seconds() * 1e3
+		speedup := 0.0
+		if inc > 0 {
+			speedup = cold / inc
+		}
+		sumCold += cold
+		sumShared += shared
+		sumInc += inc
+		rebuilds += r.ReplaceRebuilds
+		fmt.Fprintf(&b, "%-10s %13.3fms %13.3fms %13.3fms %8.2fx %9d\n",
+			r.Name, cold, shared, inc, speedup, r.ReplaceRebuilds)
+	}
+	totalSpeedup := 0.0
+	if sumInc > 0 {
+		totalSpeedup = sumCold / sumInc
+	}
+	fmt.Fprintf(&b, "%-10s %13.3fms %13.3fms %13.3fms %8.2fx %9d\n",
+		"Total", sumCold, sumShared, sumInc, totalSpeedup, rebuilds)
 	return b.String()
 }
 

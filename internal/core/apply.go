@@ -16,6 +16,38 @@ import (
 // At any single program point restores are inserted before saves, so a
 // point that ends one allocation web and begins another stays correct.
 func Apply(f *ir.Func, sets []*Set) error {
+	_, err := ApplyWithDelta(f, sets)
+	return err
+}
+
+// ApplyWithDelta is Apply plus a structured edit log describing what
+// changed: which blocks received in-block insertions, which edges were
+// split (and with what new blocks and edges), which registers the
+// inserted code touches, and the pre-edit block IDs. The returned
+// delta is never nil; if Apply failed partway, delta.Full is set and
+// the only safe reaction is full re-analysis.
+func ApplyWithDelta(f *ir.Func, sets []*Set) (*Delta, error) {
+	d := &Delta{Func: f, OldNumBlocks: len(f.Blocks), OldID: make(map[*ir.Block]int, len(f.Blocks))}
+	for _, b := range f.Blocks {
+		d.OldID[b] = b.ID
+	}
+	seen := make(map[ir.Reg]bool)
+	for _, s := range sets {
+		if !seen[s.Reg] {
+			seen[s.Reg] = true
+			d.Regs = append(d.Regs, s.Reg)
+		}
+	}
+	sortRegs(d.Regs)
+	if err := applyDelta(f, sets, d); err != nil {
+		d.Full = true
+		return d, err
+	}
+	return d, nil
+}
+
+// applyDelta is the body of Apply, recording the edit log into d.
+func applyDelta(f *ir.Func, sets []*Set, d *Delta) error {
 	slots := saveSlots(f, sets)
 
 	type edgePlan struct {
@@ -83,6 +115,17 @@ func Apply(f *ir.Func, sets []*Set) error {
 			Imm: int64(slots[r]), Flags: ir.FlagSaveRestore}
 	}
 
+	// Record in-block insertion sites in layout order (the maps are
+	// unordered) so delta consumers see a deterministic log.
+	for _, b := range f.Blocks {
+		if heads[b] != nil {
+			d.HeadBlocks = append(d.HeadBlocks, b)
+		}
+		if tails[b] != nil {
+			d.TailBlocks = append(d.TailBlocks, b)
+		}
+	}
+
 	// In-block insertions. Deterministic order: by register number.
 	for b, p := range heads {
 		sortRegs(p.restores)
@@ -121,9 +164,11 @@ func Apply(f *ir.Func, sets []*Set) error {
 		for _, r := range p.saves {
 			body = append(body, saveInstr(r))
 		}
-		if err := splitEdge(f, e, fmt.Sprintf("jb%d", i), body); err != nil {
+		split, err := splitEdge(f, e, fmt.Sprintf("jb%d", i), body)
+		if err != nil {
 			return err
 		}
+		d.Splits = append(d.Splits, split)
 	}
 
 	f.RenumberBlocks()
@@ -165,7 +210,7 @@ func saveSlots(f *ir.Func, sets []*Set) map[ir.Reg]int {
 // costing no extra jump at run time; for a jump edge the block is
 // appended at the end of the layout and its trailing jump is flagged
 // as jump-block overhead.
-func splitEdge(f *ir.Func, e *ir.Edge, name string, body []*ir.Instr) error {
+func splitEdge(f *ir.Func, e *ir.Edge, name string, body []*ir.Instr) (EdgeSplit, error) {
 	from, to := e.From, e.To
 	isJump := e.Kind == ir.Jump
 
@@ -189,7 +234,7 @@ func splitEdge(f *ir.Func, e *ir.Edge, name string, body []*ir.Instr) error {
 			}
 		}
 		if idx < 0 {
-			return fmt.Errorf("core.splitEdge: block %s not in layout", from.Name)
+			return EdgeSplit{}, fmt.Errorf("core.splitEdge: block %s not in layout", from.Name)
 		}
 		f.Blocks = append(f.Blocks, nil)
 		copy(f.Blocks[idx+2:], f.Blocks[idx+1:])
@@ -199,12 +244,12 @@ func splitEdge(f *ir.Func, e *ir.Edge, name string, body []*ir.Instr) error {
 	// Retarget the terminator of From.
 	t := from.Terminator()
 	if t == nil {
-		return fmt.Errorf("core.splitEdge: block %s has no terminator", from.Name)
+		return EdgeSplit{}, fmt.Errorf("core.splitEdge: block %s has no terminator", from.Name)
 	}
 	switch t.Op {
 	case ir.OpJmp:
 		if t.Then != to {
-			return fmt.Errorf("core.splitEdge: jmp in %s does not target %s", from.Name, to.Name)
+			return EdgeSplit{}, fmt.Errorf("core.splitEdge: jmp in %s does not target %s", from.Name, to.Name)
 		}
 		t.Then = nb
 	case ir.OpBr:
@@ -214,20 +259,20 @@ func splitEdge(f *ir.Func, e *ir.Edge, name string, body []*ir.Instr) error {
 		case t.Else == to:
 			t.Else = nb
 		default:
-			return fmt.Errorf("core.splitEdge: br in %s does not target %s", from.Name, to.Name)
+			return EdgeSplit{}, fmt.Errorf("core.splitEdge: br in %s does not target %s", from.Name, to.Name)
 		}
 	default:
-		return fmt.Errorf("core.splitEdge: block %s ends in %v", from.Name, t.Op)
+		return EdgeSplit{}, fmt.Errorf("core.splitEdge: block %s ends in %v", from.Name, t.Op)
 	}
 
 	// Rewire CFG edges.
 	w, kind := e.Weight, e.Kind
 	f.RemoveEdge(e)
-	f.AddEdge(from, nb, kind, w)
+	e1 := f.AddEdge(from, nb, kind, w)
 	k2 := ir.Jump
 	if !isJump {
 		k2 = ir.FallThrough
 	}
-	f.AddEdge(nb, to, k2, w)
-	return nil
+	e2 := f.AddEdge(nb, to, k2, w)
+	return EdgeSplit{From: from, To: to, NewBlock: nb, OldEdge: e, FromEdge: e1, ToEdge: e2, WasJump: isJump}, nil
 }

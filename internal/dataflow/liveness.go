@@ -34,21 +34,8 @@ func ComputeLiveness(f *ir.Func) *Liveness {
 	lv.Out = make([]*BitSet, nb)
 	lv.use = make([]*BitSet, nb)
 	lv.def = make([]*BitSet, nb)
-	var buf []ir.Reg
 	for _, b := range f.Blocks {
-		use, def := NewBitSet(n), NewBitSet(n)
-		for _, in := range b.Instrs {
-			buf = in.Uses(buf[:0])
-			for _, u := range buf {
-				if !def.Has(regIndex(u)) {
-					use.Set(regIndex(u))
-				}
-			}
-			if d := in.Def(); d.IsValid() {
-				def.Set(regIndex(d))
-			}
-		}
-		lv.use[b.ID], lv.def[b.ID] = use, def
+		lv.use[b.ID], lv.def[b.ID] = blockUseDef(b, n)
 		lv.In[b.ID] = NewBitSet(n)
 		lv.Out[b.ID] = NewBitSet(n)
 	}
@@ -76,6 +63,25 @@ func ComputeLiveness(f *ir.Func) *Liveness {
 		}
 	}
 	return lv
+}
+
+// blockUseDef computes the upward-exposed uses and the definitions of
+// one block over a universe of n registers.
+func blockUseDef(b *ir.Block, n int) (use, def *BitSet) {
+	use, def = NewBitSet(n), NewBitSet(n)
+	var buf []ir.Reg
+	for _, in := range b.Instrs {
+		buf = in.Uses(buf[:0])
+		for _, u := range buf {
+			if !def.Has(regIndex(u)) {
+				use.Set(regIndex(u))
+			}
+		}
+		if d := in.Def(); d.IsValid() {
+			def.Set(regIndex(d))
+		}
+	}
+	return use, def
 }
 
 // LiveAt returns the set of registers live immediately before each

@@ -1,0 +1,102 @@
+package dataflow
+
+import (
+	"repro/internal/ir"
+)
+
+// PatchApply updates a memoized Liveness in place after a spill-code
+// application edit (core.Apply): in-block save/restore insertions into
+// the dirty blocks plus edge splits that inserted the newTo blocks
+// (each mapping to the successor it jumps to). The edit only touches
+// regs, so every other register's bits are carried over unchanged;
+// the touched registers' bits are re-solved to the least fixpoint,
+// which makes the patched sets bit-for-bit identical to a from-scratch
+// ComputeLiveness of the edited function.
+//
+// oldID maps every pre-existing block to its pre-edit ID (the edit
+// renumbers blocks). Reports false — leaving lv unusable — if the
+// inputs do not describe lv's function; callers must then rebuild.
+func (lv *Liveness) PatchApply(f *ir.Func, oldID map[*ir.Block]int, newTo map[*ir.Block]*ir.Block, dirty []*ir.Block, regs []ir.Reg) bool {
+	nb := len(f.Blocks)
+	in := make([]*BitSet, nb)
+	out := make([]*BitSet, nb)
+	use := make([]*BitSet, nb)
+	def := make([]*BitSet, nb)
+
+	// Re-index the carried-over sets from old IDs to new IDs.
+	for _, b := range f.Blocks {
+		if _, isNew := newTo[b]; isNew {
+			continue
+		}
+		id, ok := oldID[b]
+		if !ok || id < 0 || id >= len(lv.In) {
+			return false
+		}
+		in[b.ID], out[b.ID] = lv.In[id], lv.Out[id]
+		use[b.ID], def[b.ID] = lv.use[id], lv.def[id]
+	}
+	// A new block nb sits on a split edge From->To: its only successor
+	// is To and it defines/uses only the edited registers, so for every
+	// untouched register In[nb] = Out[nb] = In[To]. The touched bits
+	// are re-solved below.
+	for b, to := range newTo {
+		src := in[to.ID]
+		if src == nil || b.ID < 0 || b.ID >= nb {
+			return false
+		}
+		in[b.ID] = src.Clone()
+		out[b.ID] = src.Clone()
+	}
+	lv.In, lv.Out, lv.use, lv.def = in, out, use, def
+
+	// Instructions changed only in the dirty and the new blocks.
+	for _, b := range dirty {
+		lv.use[b.ID], lv.def[b.ID] = blockUseDef(b, lv.n)
+	}
+	for b := range newTo {
+		lv.use[b.ID], lv.def[b.ID] = blockUseDef(b, lv.n)
+	}
+
+	// Liveness decomposes per register bit, so the touched registers
+	// can be re-solved alone: clear their bits everywhere and iterate
+	// the backward fixpoint restricted to the mask. Starting those bits
+	// from bottom yields the least fixpoint — exactly what a full
+	// ComputeLiveness computes — while every other bit keeps its
+	// (unchanged) solution.
+	mask := NewBitSet(lv.n)
+	for _, r := range regs {
+		mask.Set(regIndex(r))
+	}
+	for _, b := range f.Blocks {
+		lv.In[b.ID].Subtract(mask)
+		lv.Out[b.ID].Subtract(mask)
+	}
+	post := postorder(f)
+	tmp := NewBitSet(lv.n)
+	tmp2 := NewBitSet(lv.n)
+	changed := true
+	for changed {
+		changed = false
+		for _, b := range post {
+			o := lv.Out[b.ID]
+			for _, e := range b.Succs {
+				tmp.CopyFrom(lv.In[e.To.ID])
+				tmp.Intersect(mask)
+				if o.Union(tmp) {
+					changed = true
+				}
+			}
+			// masked in = (use ∩ mask) ∪ ((out ∩ mask) − def)
+			tmp.CopyFrom(o)
+			tmp.Intersect(mask)
+			tmp.Subtract(lv.def[b.ID])
+			tmp2.CopyFrom(lv.use[b.ID])
+			tmp2.Intersect(mask)
+			tmp.Union(tmp2)
+			if lv.In[b.ID].Union(tmp) {
+				changed = true
+			}
+		}
+	}
+	return true
+}

@@ -37,6 +37,11 @@ type Options struct {
 	// runs (default bytecode; the legacy tree interpreter is the
 	// differential reference).
 	Engine vm.Engine
+	// Cache, when non-nil, is the shared analysis layer the check's
+	// five strategies read instead of a private per-check cache. A
+	// sweep driver (cmd/spillfuzz) passes one cache across every seed
+	// so its hit/build counters prove sharing end to end.
+	Cache *analysis.Cache
 }
 
 // Violation is one broken invariant.
@@ -168,7 +173,10 @@ func Check(prog *ir.Program, opts Options) *Report {
 	// PST, and the shrink-wrap seed are built once per function instead
 	// of once per strategy — then each strategy's sets are translated
 	// onto its own clone for the mutation and the measurement run.
-	cache := analysis.NewCache()
+	cache := opts.Cache
+	if cache == nil {
+		cache = analysis.NewCache()
+	}
 	for _, s := range strategy.All {
 		execCost[s] = make(map[string]int64, len(placed))
 		jumpCost[s] = make(map[string]int64, len(placed))

@@ -131,12 +131,40 @@ func BuildMode(f *ir.Func, mode Mode) (*PST, error) {
 	if len(f.Exits()) == 0 {
 		return nil, fmt.Errorf("pst.Build(%s): function has no exit block", f.Name)
 	}
+	return buildWith(f, mode, computeInternals(f))
+}
 
+// internals holds the expensive intermediate structures of one PST
+// construction: the augmented graph, the cycle-equivalence classes,
+// and the edge-split graph with its dominator and postdominator trees.
+// A Builder memoizes them across calls; they stay valid for as long as
+// the CFG shape (blocks and edges) is unchanged.
+type internals struct {
+	a       *augGraph
+	sigs    []sig
+	classes [][]int
+	split   *splitGraph
+	dom     *cfg.DomTree
+	pdom    *cfg.DomTree
+}
+
+func computeInternals(f *ir.Func) *internals {
 	a := buildAug(f)
 	sigs := cycleEquivalence(a)
 	split := buildSplit(a)
-	dom := cfg.Dominators(split.g)
-	pdom := cfg.Postdominators(split.g)
+	return &internals{
+		a:       a,
+		sigs:    sigs,
+		classes: groupClasses(sigs),
+		split:   split,
+		dom:     cfg.Dominators(split.g),
+		pdom:    cfg.Postdominators(split.g),
+	}
+}
+
+// buildWith constructs the region tree from precomputed internals.
+func buildWith(f *ir.Func, mode Mode, in *internals) (*PST, error) {
+	a, split, dom, pdom := in.a, in.split, in.dom, in.pdom
 
 	closeIdx := -1
 	for i, e := range a.edges {
@@ -146,7 +174,7 @@ func BuildMode(f *ir.Func, mode Mode) (*PST, error) {
 	}
 
 	var regions []*Region
-	for _, class := range groupClasses(sigs) {
+	for _, class := range in.classes {
 		// Drop the END->START edge from the chain; it orders last.
 		hasClose := false
 		edges := class[:0:0]
@@ -241,12 +269,43 @@ func BuildMode(f *ir.Func, mode Mode) (*PST, error) {
 		}
 	}
 
+	root, err := assemble(f, regions)
+	if err != nil {
+		return nil, err
+	}
+	return &PST{Func: f, Root: root, Regions: regions}, nil
+}
+
+// assemble derives the nesting structure of a region set: it sorts the
+// regions deterministically, links parents and children, finds the
+// root, and sets depths. Build and the edge-split patch share it so a
+// patched tree is structurally identical to a rebuilt one. Regions'
+// Parent/Children links are reset and recomputed from membership.
+func assemble(f *ir.Func, regions []*Region) (*Region, error) {
+	for _, r := range regions {
+		r.Parent = nil
+		r.Children = nil
+		sort.Slice(r.Blocks, func(i, j int) bool { return r.Blocks[i].ID < r.Blocks[j].ID })
+	}
 	// Nesting: parent = smallest region strictly containing the child.
+	// The comparator is a total order (distinct regions with identical
+	// block sets differ in their boundaries), so the final region order
+	// does not depend on the order regions were discovered in.
 	sort.Slice(regions, func(i, j int) bool {
-		if len(regions[i].Blocks) != len(regions[j].Blocks) {
-			return len(regions[i].Blocks) < len(regions[j].Blocks)
+		ri, rj := regions[i], regions[j]
+		if len(ri.Blocks) != len(rj.Blocks) {
+			return len(ri.Blocks) < len(rj.Blocks)
 		}
-		return regions[i].Blocks[0].ID < regions[j].Blocks[0].ID
+		if ri.Blocks[0].ID != rj.Blocks[0].ID {
+			return ri.Blocks[0].ID < rj.Blocks[0].ID
+		}
+		ki, kj := boundaryKey(ri), boundaryKey(rj)
+		for x := range ki {
+			if ki[x] != kj[x] {
+				return ki[x] < kj[x]
+			}
+		}
+		return false
 	})
 	var root *Region
 	for i, r := range regions {
@@ -279,7 +338,6 @@ func BuildMode(f *ir.Func, mode Mode) (*PST, error) {
 		sort.Slice(r.Children, func(i, j int) bool {
 			return r.Children[i].Blocks[0].ID < r.Children[j].Blocks[0].ID
 		})
-		sort.Slice(r.Blocks, func(i, j int) bool { return r.Blocks[i].ID < r.Blocks[j].ID })
 	}
 	var setDepth func(r *Region, d int)
 	setDepth = func(r *Region, d int) {
@@ -289,8 +347,24 @@ func BuildMode(f *ir.Func, mode Mode) (*PST, error) {
 		}
 	}
 	setDepth(root, 0)
+	return root, nil
+}
 
-	return &PST{Func: f, Root: root, Regions: regions}, nil
+// boundaryKey encodes a region's boundary as a sortable tuple so the
+// region sort has a total order even between regions with identical
+// block sets.
+func boundaryKey(r *Region) [4]int {
+	k := [4]int{-1, -1, -1, -1}
+	if r.EntryEdge != nil {
+		k[0], k[1] = r.EntryEdge.From.ID, r.EntryEdge.To.ID
+	}
+	switch {
+	case r.ExitEdge != nil:
+		k[2], k[3] = r.ExitEdge.From.ID, r.ExitEdge.To.ID
+	case r.ExitBlock != nil:
+		k[2] = r.ExitBlock.ID
+	}
+	return k
 }
 
 // containsAll reports whether outer strictly contains inner: a

@@ -232,9 +232,12 @@ func PlaceCachedFor(f *ir.Func, s Strategy, info *analysis.Info, d *machine.Desc
 	if err := core.ValidateSetsLive(f, sets, info.Liveness()); err != nil {
 		return err
 	}
-	// Apply mutates f even on failure, so invalidate unconditionally.
-	err = core.Apply(f, sets)
-	info.Invalidate()
+	// Apply mutates f even on failure. The returned delta patches the
+	// memoized analyses in place (falling back to full invalidation for
+	// unrecognized edits — including the Full delta Apply reports on
+	// failure), so no caller can read stale results afterwards.
+	delta, err := core.ApplyWithDelta(f, sets)
+	info.ApplyDelta(delta)
 	return err
 }
 

@@ -235,6 +235,36 @@ func (p *Program) Place(s Strategy) error {
 // order; the tests pin the correspondence.
 func computeStrategy(s Strategy) strategy.Strategy { return strategy.Strategy(s) }
 
+// AnalysisStats reports the shared analysis layer's activity: cache
+// lookups, per-analysis build counts, and how placement edits were
+// absorbed — patched in place from a core.Delta, or by falling back to
+// a full invalidation. In a healthy pipeline DeltaFull stays 0: every
+// Place edit is a recognized shape the analyses patch incrementally.
+type AnalysisStats struct {
+	// Hits and Misses count per-function cache lookups (a miss creates
+	// the function's analysis handle).
+	Hits, Misses int
+	// Builds per analysis, summed over all functions. SplitDom counts
+	// the PST's internal split-graph dominator-tree computations, the
+	// expensive core the builder memoizes across rebuild requests.
+	Liveness, Dom, Loops, PST, SplitDom, Seed int
+	// DeltaPatched and DeltaFull count placement edits absorbed
+	// incrementally vs by full invalidation.
+	DeltaPatched, DeltaFull int
+}
+
+// AnalysisStats returns the pipeline's analysis-layer counters so far.
+func (p *Program) AnalysisStats() AnalysisStats {
+	hits, misses := p.cache.Stats()
+	c := p.cache.Counts()
+	return AnalysisStats{
+		Hits: hits, Misses: misses,
+		Liveness: c.Liveness, Dom: c.Dom, Loops: c.Loops,
+		PST: c.PST, SplitDom: c.SplitDom, Seed: c.Seed,
+		DeltaPatched: c.DeltaPatched, DeltaFull: c.DeltaFull,
+	}
+}
+
 // Functions returns the program's function names in definition order.
 func (p *Program) Functions() []string {
 	return append([]string(nil), p.prog.Order...)
