@@ -5,6 +5,7 @@
 //	benchdiff -vm BENCH_vm.json             # engine throughput gate
 //	benchdiff -machines BENCH_machines.json # multi-machine sweep gate
 //	benchdiff -analysis BENCH_analysis.json # incremental analysis gate
+//	benchdiff -serve BENCH_serve.json       # placement service gate
 //	benchdiff -vm ... -machines ... -threshold 15
 //	benchdiff -machines ... -inject 20      # self-test: must fail
 //
@@ -15,8 +16,11 @@
 // prove the sweep shares analyses across presets; the analysis gate
 // compares the cold-over-incremental re-placement speedup (host speed
 // cancels), its absolute 3x floor, and the zero-full-rebuild property
-// of the delta patchers. -inject degrades the fresh numbers by the
-// given percentage so the CI job can prove the gate actually trips.
+// of the delta patchers; the serve gate re-runs the in-process loadgen
+// sweep and compares the cached-over-cold speedup (5x absolute floor),
+// the deterministic cache hit counters, and the analysis cache's
+// eviction bound. -inject degrades the fresh numbers by the given
+// percentage so the CI job can prove the gate actually trips.
 package main
 
 import (
@@ -26,6 +30,7 @@ import (
 	"os"
 
 	"repro/internal/bench"
+	"repro/internal/server"
 	"repro/internal/workload"
 )
 
@@ -33,14 +38,15 @@ func main() {
 	vmPath := flag.String("vm", "", "committed BENCH_vm.json to gate against")
 	machPath := flag.String("machines", "", "committed BENCH_machines.json to gate against")
 	analysisPath := flag.String("analysis", "", "committed BENCH_analysis.json to gate against")
+	servePath := flag.String("serve", "", "committed BENCH_serve.json to gate against")
 	threshold := flag.Float64("threshold", 15, "allowed regression in percent")
 	reps := flag.Int("reps", 1, "VM executions per benchmark per engine for the fresh -vm run")
 	jobs := flag.Int("j", 0, "worker pool size (0 = GOMAXPROCS)")
 	inject := flag.Float64("inject", 0, "artificially degrade the fresh numbers by this percentage (gate self-test)")
 	flag.Parse()
 
-	if *vmPath == "" && *machPath == "" && *analysisPath == "" {
-		fmt.Fprintln(os.Stderr, "benchdiff: nothing to compare; pass -vm, -machines, and/or -analysis")
+	if *vmPath == "" && *machPath == "" && *analysisPath == "" && *servePath == "" {
+		fmt.Fprintln(os.Stderr, "benchdiff: nothing to compare; pass -vm, -machines, -analysis, and/or -serve")
 		os.Exit(2)
 	}
 
@@ -93,6 +99,22 @@ func main() {
 		fmt.Printf("analysis: committed incremental speedup %.2fx, fresh %.2fx (shared %.2fx, rebuild fallbacks %d)\n",
 			committed.IncrementalSpeedup, fresh.IncrementalSpeedup, fresh.SharedSpeedup, fresh.Rebuilds)
 		findings = append(findings, bench.CompareAnalysis(&committed, fresh, *threshold)...)
+	}
+
+	if *servePath != "" {
+		var committed bench.ServeBench
+		readJSON(*servePath, &committed)
+		fresh, err := server.Bench(committed.Distinct, committed.Dups, committed.Workers)
+		if err != nil {
+			fatal(err)
+		}
+		if *inject > 0 {
+			bench.InjectServeRegression(fresh, *inject)
+		}
+		fmt.Printf("serve: committed cached speedup %.2fx, fresh %.2fx (%d requests, program hits %d, function hits %d, analysis len max %d/%d)\n",
+			committed.CachedSpeedup, fresh.CachedSpeedup, fresh.Requests,
+			fresh.ProgramHits, fresh.FunctionHits, fresh.AnalysisLenMax, fresh.AnalysisBudget)
+		findings = append(findings, bench.CompareServe(&committed, fresh, *threshold)...)
 	}
 
 	if len(findings) > 0 {

@@ -203,3 +203,57 @@ func TestCache(t *testing.T) {
 	nilCache.Invalidate(f) // must not panic
 	nilCache.InvalidateAll()
 }
+
+// TestDropShrinksLen pins the fix for the long-lived-process leak:
+// Invalidate marks results stale but keeps the *ir.Func-keyed entry
+// (and so the function) alive forever, while Drop/DropAll actually
+// remove entries and Len() shrinks.
+func TestDropShrinksLen(t *testing.T) {
+	f := demoFunc(t)
+	g := ir.NewFunc("g")
+	c := analysis.NewCache()
+	c.For(f).Liveness()
+	c.For(g)
+	if c.Len() != 2 {
+		t.Fatalf("Len = %d, want 2", c.Len())
+	}
+
+	// Invalidate never shrinks the cache — that is the leak.
+	c.Invalidate(f)
+	c.InvalidateAll()
+	if c.Len() != 2 {
+		t.Fatalf("Len after Invalidate/InvalidateAll = %d, want 2 (entries kept)", c.Len())
+	}
+
+	c.Drop(f)
+	if c.Len() != 1 {
+		t.Errorf("Len after Drop = %d, want 1", c.Len())
+	}
+	if c.Drops() != 1 {
+		t.Errorf("Drops = %d, want 1", c.Drops())
+	}
+	c.Drop(f) // dropping an absent entry is a no-op
+	if c.Drops() != 1 {
+		t.Errorf("Drops after double Drop = %d, want 1", c.Drops())
+	}
+
+	// A dropped function gets a fresh handle on next use.
+	if c.For(f) == nil || c.Len() != 2 {
+		t.Errorf("Len after re-For = %d, want 2", c.Len())
+	}
+
+	c.DropAll()
+	if c.Len() != 0 {
+		t.Errorf("Len after DropAll = %d, want 0", c.Len())
+	}
+	if c.Drops() != 3 {
+		t.Errorf("Drops after DropAll = %d, want 3", c.Drops())
+	}
+
+	var nilCache *analysis.Cache
+	nilCache.Drop(f) // must not panic
+	nilCache.DropAll()
+	if nilCache.Drops() != 0 {
+		t.Error("nil cache Drops != 0")
+	}
+}

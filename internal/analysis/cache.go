@@ -15,6 +15,7 @@ type Cache struct {
 	mu           sync.Mutex
 	m            map[*ir.Func]*Info
 	hits, misses int
+	drops        int
 }
 
 // NewCache returns an empty cache.
@@ -93,6 +94,46 @@ func (c *Cache) Len() int {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return len(c.m)
+}
+
+// Drop removes f's entry from the cache entirely, so f (and the
+// analyses its Info pins) can be garbage collected. Invalidate marks
+// results stale but keeps the map entry alive — the right call between
+// pipeline stages over the same function, and a leak in a long-lived
+// process that keeps seeing new functions. Eviction policies and
+// program teardown use Drop; Drops counts the removals.
+func (c *Cache) Drop(f *ir.Func) {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, ok := c.m[f]; ok {
+		delete(c.m, f)
+		c.drops++
+	}
+}
+
+// DropAll removes every entry, e.g. when a batch tool is done with a
+// program and tears it down.
+func (c *Cache) DropAll() {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.drops += len(c.m)
+	clear(c.m)
+}
+
+// Drops returns how many entries Drop and DropAll have removed.
+func (c *Cache) Drops() int {
+	if c == nil {
+		return 0
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.drops
 }
 
 // Invalidate drops the memoized results for f, if any.

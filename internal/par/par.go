@@ -32,6 +32,13 @@ func Limit(n, items int) int {
 // so long items do not serialize behind short ones. The returned
 // error is the one from the lowest failed index — the same error the
 // serial loop would hit first — regardless of scheduling order.
+//
+// Dispatch stops after the first error: indices not yet claimed when
+// a failure is recorded never run (items already in flight finish
+// normally). Because workers claim indices in ascending order, every
+// index below a failed one was claimed before it, so early
+// cancellation cannot skip a failure at a lower index and the
+// lowest-failed-index guarantee is unaffected.
 func Do(n, parallelism int, fn func(i int) error) error {
 	workers := Limit(parallelism, n)
 	if workers == 1 {
@@ -44,17 +51,21 @@ func Do(n, parallelism int, fn func(i int) error) error {
 	}
 	errs := make([]error, n)
 	var next atomic.Int64
+	var failed atomic.Bool
 	var wg sync.WaitGroup
 	wg.Add(workers)
 	for w := 0; w < workers; w++ {
 		go func() {
 			defer wg.Done()
-			for {
+			for !failed.Load() {
 				i := int(next.Add(1)) - 1
 				if i >= n {
 					return
 				}
-				errs[i] = fn(i)
+				if err := fn(i); err != nil {
+					errs[i] = err
+					failed.Store(true)
+				}
 			}
 		}()
 	}

@@ -55,6 +55,76 @@ func TestDoReturnsLowestIndexError(t *testing.T) {
 	}
 }
 
+// TestDoStopsDispatchOnError pins the early-cancel behavior: once an
+// index fails, indices not yet claimed must never run. fn(0) fails
+// immediately; fn(1) blocks until the failure is recorded, so by the
+// time any worker returns to the counter the cancel flag is set and at
+// most the two in-flight indices (plus one claim that raced the flag
+// per worker) can have executed out of 10000.
+func TestDoStopsDispatchOnError(t *testing.T) {
+	const n = 10000
+	failed := make(chan struct{})
+	var executed atomic.Int64
+	err := Do(n, 2, func(i int) error {
+		executed.Add(1)
+		switch i {
+		case 0:
+			close(failed)
+			return errors.New("boom at 0")
+		case 1:
+			<-failed
+		}
+		return nil
+	})
+	if err == nil || err.Error() != "boom at 0" {
+		t.Fatalf("err = %v, want boom at 0", err)
+	}
+	if got := executed.Load(); got > 100 {
+		t.Errorf("executed %d indices after early failure, want at most the in-flight handful", got)
+	}
+}
+
+// TestDoStopsDispatchOnErrorSerial is the same contract on the serial
+// path: the loop must return at the first failing index without
+// running any later one.
+func TestDoStopsDispatchOnErrorSerial(t *testing.T) {
+	var executed int
+	err := Do(100, 1, func(i int) error {
+		executed++
+		if i == 7 {
+			return errors.New("boom at 7")
+		}
+		return nil
+	})
+	if err == nil || err.Error() != "boom at 7" {
+		t.Fatalf("err = %v, want boom at 7", err)
+	}
+	if executed != 8 {
+		t.Errorf("executed %d indices, want 8 (0..7)", executed)
+	}
+}
+
+// TestDoLowestIndexErrorSurvivesCancel forces a higher index to fail
+// (and set the cancel flag) while a lower failing index is still in
+// flight: the lower index's error must still be the one returned.
+func TestDoLowestIndexErrorSurvivesCancel(t *testing.T) {
+	sevenDone := make(chan struct{})
+	err := Do(8, 2, func(i int) error {
+		switch i {
+		case 3:
+			<-sevenDone // fail only after 7's error set the cancel flag
+			return fmt.Errorf("fail at 3")
+		case 7:
+			defer close(sevenDone)
+			return fmt.Errorf("fail at 7")
+		}
+		return nil
+	})
+	if err == nil || err.Error() != "fail at 3" {
+		t.Errorf("err = %v, want fail at 3 (lowest failed index)", err)
+	}
+}
+
 func TestDoZeroItems(t *testing.T) {
 	if err := Do(0, 4, func(int) error { return errors.New("never") }); err != nil {
 		t.Errorf("Do over zero items: %v", err)

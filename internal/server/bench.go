@@ -1,0 +1,75 @@
+package server
+
+// bench.go runs the standing end-to-end service benchmark: an
+// in-process spillserve instance driven by the loadgen sweep (cold
+// submissions, cached resubmissions, function-reordered variants)
+// over a generated corpus. It lives here rather than in internal/bench
+// because the sweep needs the service itself, and internal/bench is
+// imported by the root package's tests — which would close an import
+// cycle through the server's dependency on the facade. The gate logic
+// (bench.CompareServe) stays service-free on the other side.
+
+import (
+	"fmt"
+	"net/http/httptest"
+	"runtime"
+	"time"
+
+	"repro/internal/bench"
+)
+
+// benchSuite names the standing corpus; a record for any other corpus
+// shape is not comparable.
+const benchSuite = "irgen small corpus"
+
+// benchAnalysisBudget is the standing benchmark's analysis-cache
+// budget: far below the corpus's function population, so the sweep
+// only passes if the eviction policy actually evicts.
+const benchAnalysisBudget = 64
+
+// Bench boots an in-process service and drives the full loadgen
+// sweep: Distinct cold submissions, Distinct*Dups cached
+// resubmissions, and Distinct reordered variants that must be
+// assembled from the function-level cache.
+func Bench(distinct, dups, workers int) (*bench.ServeBench, error) {
+	s := New(Config{AnalysisBudget: benchAnalysisBudget})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	res, err := Loadgen(ts.Client(), ts.URL, LoadgenOptions{
+		Distinct: distinct,
+		Dups:     dups,
+		Workers:  workers,
+		Reorder:  true,
+		Seed:     1,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("serve bench: %w", err)
+	}
+	return NewRecord(res), nil
+}
+
+// NewRecord maps a loadgen sweep result to the serialized
+// BENCH_serve.json record, stamping host metadata.
+func NewRecord(res *LoadgenResult) *bench.ServeBench {
+	return &bench.ServeBench{
+		Suite:          benchSuite,
+		Distinct:       res.Distinct,
+		Dups:           res.Dups,
+		Workers:        res.Workers,
+		Requests:       res.Requests,
+		Functions:      res.Functions,
+		GoVersion:      runtime.Version(),
+		GOARCH:         runtime.GOARCH,
+		Date:           time.Now().UTC().Format("2006-01-02"),
+		ColdNsPerReq:   res.ColdNsPerReq,
+		CachedNsPerReq: res.CachedNsPerReq,
+		CachedSpeedup:  res.CachedSpeedup,
+		ProgramHits:    res.ProgramHits,
+		ProgramMisses:  res.ProgramMisses,
+		FunctionHits:   res.FunctionHits,
+		AnalysisBudget: res.AnalysisBudget,
+		AnalysisLenMax: res.AnalysisLenMax,
+		AnalysisDrops:  res.AnalysisDrops,
+	}
+}

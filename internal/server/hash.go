@@ -1,0 +1,61 @@
+package server
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"io"
+	"strings"
+
+	"repro/internal/ir"
+	"repro/internal/irtext"
+)
+
+// programKey is the program-level content-cache key: a digest of the
+// canonical IR text (irtext.Print of the parsed program, so comment
+// and whitespace variants collapse) plus every request option that
+// shapes the response bytes.
+func programKey(canonical string, req *PlaceRequest) string {
+	h := sha256.New()
+	io.WriteString(h, canonical)
+	h.Write([]byte{0})
+	io.WriteString(h, req.Machine)
+	h.Write([]byte{0})
+	io.WriteString(h, req.Strategy)
+	h.Write([]byte{0})
+	var buf [8]byte
+	for _, a := range req.Args {
+		binary.LittleEndian.PutUint64(buf[:], uint64(a))
+		h.Write(buf[:])
+	}
+	flags := byte(0)
+	if req.Run {
+		flags |= 1
+	}
+	if req.Emit {
+		flags |= 2
+	}
+	h.Write([]byte{0, flags})
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// funcHash digests one function's canonical text. It must be taken
+// after Profile and before Allocate: PrintFunc round-trips the entry
+// count and edge weights, so the digest covers exactly what placement
+// depends on (body + profile), while allocation would bake
+// machine-specific spill code into it.
+func funcHash(f *ir.Func) string {
+	var b strings.Builder
+	irtext.PrintFunc(&b, f)
+	sum := sha256.Sum256([]byte(b.String()))
+	return hex.EncodeToString(sum[:])
+}
+
+// funcKey is the function-level content-cache key: placement is a
+// deterministic function of (profiled body, machine preset, strategy),
+// so identical triples can reuse one FunctionEntry across programs.
+type funcKey struct {
+	hash     string
+	machine  string
+	strategy string
+}

@@ -20,6 +20,7 @@ package spillopt
 
 import (
 	"fmt"
+	"strings"
 
 	"repro/internal/analysis"
 	"repro/internal/core"
@@ -73,6 +74,26 @@ func (s Strategy) String() string {
 	return "?"
 }
 
+// Strategies lists every strategy name in declaration order.
+func Strategies() []string {
+	out := make([]string, 0, len(strategy.All))
+	for _, s := range strategy.All {
+		out = append(out, Strategy(s).String())
+	}
+	return out
+}
+
+// ParseStrategy maps a strategy name (as produced by String) back to
+// the Strategy, for tools that take the strategy as text.
+func ParseStrategy(name string) (Strategy, error) {
+	for _, s := range strategy.All {
+		if Strategy(s).String() == name {
+			return Strategy(s), nil
+		}
+	}
+	return 0, fmt.Errorf("spillopt: unknown strategy %q (have %s)", name, strings.Join(Strategies(), ", "))
+}
+
 // Result reports a measured execution.
 type Result struct {
 	// Value is the program's return value.
@@ -114,6 +135,16 @@ type Program struct {
 	// parity-tested); the legacy engine exists as the differential
 	// reference and is several times slower.
 	UseLegacyVM bool
+
+	// MaxSteps bounds every VM execution (Profile and Run). Zero
+	// means the VM's default budget; services handling untrusted IR
+	// set a tight limit so a runaway program costs bounded CPU.
+	MaxSteps int64
+
+	// sharedCache marks a cache injected via UseAnalysisCache and
+	// owned by a longer-lived service; Close then drops only this
+	// program's entries instead of everything.
+	sharedCache bool
 
 	profiled  bool
 	allocated bool
@@ -181,7 +212,7 @@ func (p *Program) Profile(args ...int64) error {
 	if p.allocated {
 		return fmt.Errorf("spillopt: Profile must run before Allocate")
 	}
-	if _, err := profile.CollectWithConfig(p.prog, vm.Config{Engine: p.engine()}, args...); err != nil {
+	if _, err := profile.CollectWithConfig(p.prog, vm.Config{Engine: p.engine(), MaxSteps: p.MaxSteps}, args...); err != nil {
 		return err
 	}
 	if err := profile.Consistent(p.prog); err != nil {
@@ -202,8 +233,13 @@ func (p *Program) Allocate() error {
 		return err
 	}
 	// Allocation rewrote instructions (spill code, physical registers),
-	// so every memoized analysis is stale.
-	p.cache.InvalidateAll()
+	// so every memoized analysis of this program is stale. Invalidation
+	// is per function: on a cache shared with other live programs
+	// (UseAnalysisCache), a blanket InvalidateAll would throw away
+	// their perfectly valid analyses.
+	for _, f := range p.prog.FuncsInOrder() {
+		p.cache.Invalidate(f)
+	}
 	p.allocated = true
 	return nil
 }
@@ -253,6 +289,44 @@ type AnalysisStats struct {
 	DeltaPatched, DeltaFull int
 }
 
+// UseAnalysisCache points the pipeline at a shared program-level
+// analysis cache owned by a long-lived caller (the placement service
+// shares one across every request it handles). It must be called
+// before Profile/Allocate/Place so every stage sees one cache. The
+// caller owns the cache's lifetime: either call Close when done with
+// this Program, or run an eviction policy over IRFuncs keys that
+// calls the cache's Drop — otherwise the cache pins every program
+// ever compiled (the leak Invalidate alone never fixes).
+func (p *Program) UseAnalysisCache(c *analysis.Cache) {
+	if c == nil {
+		return
+	}
+	p.cache = c
+	p.sharedCache = true
+}
+
+// Close releases the program's per-function entries from its analysis
+// cache so the functions (and everything their analyses pin) can be
+// collected. On a program-owned cache it drops everything; on a cache
+// injected with UseAnalysisCache it drops only this program's
+// functions. Close is idempotent and the Program remains usable — the
+// next analysis consumer just rebuilds.
+func (p *Program) Close() {
+	if !p.sharedCache {
+		p.cache.DropAll()
+		return
+	}
+	for _, f := range p.prog.FuncsInOrder() {
+		p.cache.Drop(f)
+	}
+}
+
+// IRFuncs exposes the program's functions (in definition order) to
+// in-process services that manage a shared analysis cache's lifetime:
+// the returned pointers are exactly the cache keys an eviction policy
+// must eventually Drop.
+func (p *Program) IRFuncs() []*ir.Func { return p.prog.FuncsInOrder() }
+
 // AnalysisStats returns the pipeline's analysis-layer counters so far.
 func (p *Program) AnalysisStats() AnalysisStats {
 	hits, misses := p.cache.Stats()
@@ -292,11 +366,80 @@ func (p *Program) PlacementCost(funcName string, s Strategy) (int64, error) {
 	return core.TotalCost(core.MachineModel{Desc: p.mach, ChargeJumps: true}, sets), nil
 }
 
+// FunctionReport is one function's spill-code cost report: the static
+// instruction counts the compiler inserted and the modeled dynamic
+// overhead those instructions execute under the recorded profile,
+// split by class and priced with the pipeline's machine. For a
+// placement without jump blocks the modeled numbers are exact — they
+// equal what a Run with the profiling arguments measures.
+type FunctionReport struct {
+	Function string `json:"function"`
+
+	// Static inserted-instruction counts.
+	SaveInstrs      int `json:"save_instrs"`
+	RestoreInstrs   int `json:"restore_instrs"`
+	SpillInstrs     int `json:"spill_instrs"`
+	JumpBlockInstrs int `json:"jump_block_instrs"`
+
+	// Modeled dynamic executions by class.
+	Saves       int64 `json:"saves"`
+	Restores    int64 `json:"restores"`
+	SpillLoads  int64 `json:"spill_loads"`
+	SpillStores int64 `json:"spill_stores"`
+	JumpJumps   int64 `json:"jump_jumps"`
+
+	// Overhead is the total modeled dynamic overhead executions; Cost
+	// prices them with the machine's cost surface (equal on the
+	// default unit-cost machine).
+	Overhead int64 `json:"overhead"`
+	Cost     int64 `json:"cost"`
+}
+
+// Report returns one FunctionReport per function in definition order.
+// It requires Allocate (spill code exists only after allocation);
+// called after Place it includes the placement's save/restore code and
+// jump blocks.
+func (p *Program) Report() ([]FunctionReport, error) {
+	if !p.allocated {
+		return nil, fmt.Errorf("spillopt: Allocate before Report")
+	}
+	out := make([]FunctionReport, 0, len(p.prog.Order))
+	for _, f := range p.prog.FuncsInOrder() {
+		o := core.Breakdown(f)
+		r := FunctionReport{
+			Function:    f.Name,
+			Saves:       o.Saves,
+			Restores:    o.Restores,
+			SpillLoads:  o.SpillLoads,
+			SpillStores: o.SpillStores,
+			JumpJumps:   o.JumpBlockJmps,
+			Overhead:    o.Total(),
+			Cost:        o.Cost(p.mach.Costs),
+		}
+		for _, b := range f.Blocks {
+			for _, in := range b.Instrs {
+				switch {
+				case in.Flags&ir.FlagSaveRestore != 0 && in.Op == ir.OpSave:
+					r.SaveInstrs++
+				case in.Flags&ir.FlagSaveRestore != 0 && in.Op == ir.OpRestore:
+					r.RestoreInstrs++
+				case in.Flags&ir.FlagJumpBlock != 0:
+					r.JumpBlockInstrs++
+				case in.Flags&ir.FlagSpill != 0:
+					r.SpillInstrs++
+				}
+			}
+		}
+		out = append(out, r)
+	}
+	return out, nil
+}
+
 // Run executes the program under callee-saved convention enforcement
 // and returns the measured result. It requires placement to have run
 // (or no procedure to use callee-saved registers).
 func (p *Program) Run(args ...int64) (*Result, error) {
-	m := vm.New(p.prog, vm.Config{Machine: p.mach, Engine: p.engine()})
+	m := vm.New(p.prog, vm.Config{Machine: p.mach, Engine: p.engine(), MaxSteps: p.MaxSteps})
 	v, err := m.Run(args...)
 	if err != nil {
 		return nil, err
@@ -360,6 +503,7 @@ func (p *Program) Clone() *Program {
 		cache:       analysis.NewCache(),
 		Parallelism: p.Parallelism,
 		UseLegacyVM: p.UseLegacyVM,
+		MaxSteps:    p.MaxSteps,
 		profiled:    p.profiled,
 		allocated:   p.allocated,
 		placed:      p.placed,
