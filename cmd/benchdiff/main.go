@@ -63,6 +63,8 @@ func main() {
 			bench.InjectVMRegression(fresh, *inject)
 		}
 		fmt.Printf("vm: committed speedup %.2fx, fresh %.2fx\n", committed.Speedup, fresh.Speedup)
+		fmt.Printf("vm: committed regcode speedup %.2fx, fresh %.2fx (floor %.1fx)\n",
+			committed.RegcodeSpeedup, fresh.RegcodeSpeedup, bench.RegcodeSpeedupFloor)
 		findings = append(findings, bench.CompareVM(&committed, fresh, *threshold)...)
 	}
 

@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	irrun [-arg N] [-profile] [-check] [-engine bytecode|tree] prog.ir
+//	irrun [-arg N] [-profile] [-check] [-engine bytecode|regcode|tree] prog.ir
 package main
 
 import (
@@ -23,7 +23,7 @@ func main() {
 	arg := flag.Int64("arg", 0, "argument passed to main")
 	prof := flag.Bool("profile", false, "print per-edge execution counts")
 	check := flag.Bool("check", false, "enforce the callee-saved register convention")
-	engine := flag.String("engine", "bytecode", "execution engine: bytecode or tree (the legacy reference)")
+	engine := flag.String("engine", "bytecode", "execution engine: bytecode, regcode, or tree (the legacy reference)")
 	flag.Parse()
 
 	eng, err := vm.ParseEngine(*engine)

@@ -22,12 +22,16 @@
 //	                                # re-placement after an edit
 //	spillbench -analysis -json BENCH_analysis.json
 //	                                # record it for the CI gate
+//	spillbench -json out.json -cpuprofile cpu.pprof
+//	                                # engine benchmark under the pprof
+//	                                # CPU profiler
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime/pprof"
 
 	"repro/internal/bench"
 	"repro/internal/machine"
@@ -43,7 +47,8 @@ func main() {
 	jobs := flag.Int("j", 0, "worker pool size for sharded evaluation (0 = GOMAXPROCS, 1 = serial)")
 	irgenN := flag.Int("irgen", 0, "append this many random irgen scenario families to the suite")
 	irgenSeed := flag.Uint64("irgen-seed", 1, "first seed of the appended irgen families")
-	engine := flag.String("engine", "bytecode", "VM engine for the measurement runs: bytecode or tree")
+	engine := flag.String("engine", "bytecode", "VM engine for the measurement runs: bytecode, regcode, or tree")
+	cpuprofile := flag.String("cpuprofile", "", "write a pprof CPU profile of the measurement run to this file")
 	unshared := flag.Bool("unshared", false, "disable the shared per-function analysis cache (A/B reference for Table 2 placement times)")
 	jsonOut := flag.String("json", "", "instead of the tables: benchmark both VM engines on the placed suite and write the JSON record here (e.g. BENCH_vm.json); with -machines, write the sweep record instead (e.g. BENCH_machines.json)")
 	reps := flag.Int("reps", 3, "with -json: VM executions per benchmark per engine")
@@ -55,6 +60,28 @@ func main() {
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "spillbench: %v\n", err)
 		os.Exit(2)
+	}
+
+	// The profile brackets the measurement work itself: it starts after
+	// flag validation and stops when the chosen mode finishes. Error
+	// paths exit without a profile — there is nothing worth profiling in
+	// a failed run.
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "spillbench: %v\n", err)
+			os.Exit(2)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "spillbench: %v\n", err)
+			os.Exit(2)
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			if err := f.Close(); err != nil {
+				fmt.Fprintf(os.Stderr, "spillbench: %v\n", err)
+			}
+		}()
 	}
 
 	suite := func() []bench.Entry {
@@ -160,7 +187,8 @@ func main() {
 			fmt.Printf("%-10s %8.2fms/run %14.0f instrs/s\n",
 				e.Engine, e.NSPerRun/1e6, e.InstrsPerSec)
 		}
-		fmt.Printf("speedup: %.2fx (recorded in %s)\n", rec.Speedup, *jsonOut)
+		fmt.Printf("speedup: %.2fx over tree, regcode %.2fx over bytecode (recorded in %s)\n",
+			rec.Speedup, rec.RegcodeSpeedup, *jsonOut)
 		return
 	}
 

@@ -13,6 +13,8 @@
 //	spillfuzz -out dir                # write minimized reproducers here
 //	spillfuzz -emit 6 -out testdata   # emit minimized oracle-clean
 //	                                  # sample programs instead
+//	spillfuzz -parity -engine regcode # engine-vs-tree parity sweep
+//	                                  # instead of the strategy oracle
 package main
 
 import (
@@ -42,7 +44,8 @@ func main() {
 	keep := flag.Int("keep", 5, "minimize and write at most this many failures")
 	emit := flag.Int("emit", 0, "instead of hunting bugs: emit this many minimized oracle-clean sample programs to -out")
 	verbose := flag.Bool("v", false, "log every failing seed as it is found")
-	engine := flag.String("engine", "bytecode", "VM engine for the oracle's runs: bytecode or tree")
+	engine := flag.String("engine", "bytecode", "VM engine for the oracle's runs: bytecode, regcode, or tree")
+	parity := flag.Bool("parity", false, "instead of the strategy oracle: cross-check the -engine VM engine against the tree interpreter on every seed (raw, step-limited, and placed programs)")
 	flag.Parse()
 
 	eng, err := vm.ParseEngine(*engine)
@@ -54,6 +57,11 @@ func main() {
 	cfg := irgen.Default()
 	if *small {
 		cfg = irgen.Small()
+	}
+
+	if *parity {
+		paritySweep(*n, *jobs, *base, cfg, eng, *verbose)
+		return
 	}
 
 	if *emit > 0 {
@@ -126,6 +134,50 @@ func main() {
 			continue
 		}
 		fmt.Printf("  reproducer: %s\n", path)
+	}
+	if len(failures) > 0 {
+		os.Exit(1)
+	}
+}
+
+// paritySweep cross-checks an engine against the tree interpreter on
+// every seed: the raw program under several step budgets (small ones
+// force mid-quantum halts) plus the hierarchically placed program
+// under convention checking. Any observable divergence is a bug in
+// one of the engines; the process exits 1 on the first-failing run.
+func paritySweep(n, jobs int, base uint64, cfg irgen.Config, eng vm.Engine, verbose bool) {
+	start := time.Now()
+	budgets := []int64{1, 13, 257, 1 << 22}
+	type failure struct {
+		seed       uint64
+		mismatches []string
+	}
+	var mu sync.Mutex
+	var failures []failure
+	checked := 0
+	_ = par.Do(n, jobs, func(i int) error {
+		seed := base + uint64(i)
+		prog := irgen.Generate(seed, cfg)
+		ms := irgen.EngineParitySweep(prog, eng, []int64{int64(seed % 17)}, budgets)
+		mu.Lock()
+		defer mu.Unlock()
+		checked++
+		if len(ms) > 0 {
+			failures = append(failures, failure{seed, ms})
+			if verbose {
+				fmt.Fprintf(os.Stderr, "seed %d: %s\n", seed, ms[0])
+			}
+		}
+		return nil
+	})
+	sort.Slice(failures, func(i, j int) bool { return failures[i].seed < failures[j].seed })
+	fmt.Printf("spillfuzz: %v-vs-tree parity on %d seeds in %v, %d failures\n",
+		eng, checked, time.Since(start).Round(time.Millisecond), len(failures))
+	for _, f := range failures {
+		fmt.Printf("seed %d:\n", f.seed)
+		for _, m := range f.mismatches {
+			fmt.Printf("  %s\n", m)
+		}
 	}
 	if len(failures) > 0 {
 		os.Exit(1)

@@ -2,8 +2,10 @@ package spillopt
 
 // Native Go fuzz targets. FuzzParse hammers the textual IR frontend
 // with arbitrary bytes; FuzzPlacement drives seed-chosen generated
-// programs through the full differential oracle. CI runs both with a
-// short budget (-fuzztime=30s); locally, crank them up with e.g.
+// programs through the full differential oracle; FuzzEngineParity
+// cross-checks the regcode engine against the tree interpreter. CI
+// runs each with a short budget (-fuzztime=30s); locally, crank them
+// up with e.g.
 //
 //	go test -run=^$ -fuzz=^FuzzPlacement$ -fuzztime=5m .
 //
@@ -16,6 +18,7 @@ import (
 
 	"repro/internal/irgen"
 	"repro/internal/irtext"
+	"repro/internal/vm"
 )
 
 // FuzzParse: irtext.Parse must never panic, and any program it
@@ -64,6 +67,28 @@ func FuzzPlacement(f *testing.F) {
 		})
 		for _, v := range r.Violations {
 			t.Errorf("seed %d arg %d: %v", seed, arg, v)
+		}
+		if t.Failed() {
+			t.Logf("program:\n%s", irtext.Print(prog))
+		}
+	})
+}
+
+// FuzzEngineParity: for any seed, argument, and step budget, the
+// regcode engine must agree with the tree interpreter exactly —
+// result value, error text, every statistics counter, and the edge
+// profile — on the generated program raw (where an arbitrary budget
+// forces mid-quantum step-limit halts) and hierarchically placed
+// under callee-saved convention checking.
+func FuzzEngineParity(f *testing.F) {
+	for _, seed := range []uint64{0, 1, 7, 42, 1 << 33} {
+		f.Add(seed, int64(3), int64(257))
+	}
+	f.Fuzz(func(t *testing.T, seed uint64, arg, budget int64) {
+		budget = budget&(1<<22-1) + 1
+		prog := irgen.Generate(seed, irgen.Small())
+		for _, m := range irgen.EngineParitySweep(prog, vm.EngineRegcode, []int64{arg & 1023}, []int64{budget}) {
+			t.Errorf("seed %d arg %d: %s", seed, arg, m)
 		}
 		if t.Failed() {
 			t.Logf("program:\n%s", irtext.Print(prog))

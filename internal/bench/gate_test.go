@@ -122,6 +122,91 @@ func TestGateVMSpeedupRatio(t *testing.T) {
 	}
 }
 
+// vmRecord3 is a three-engine record as BenchVM now produces them:
+// bytecode, regcode, and tree all run the same suite, so per-run
+// instruction counts agree across engines in a healthy record.
+func vmRecord3(speedup, regSpeedup float64, instrsPerRun int64) *VMBench {
+	return &VMBench{
+		Speedup:        speedup,
+		RegcodeSpeedup: regSpeedup,
+		Engines: []EngineBench{
+			{Engine: "bytecode", Runs: 3, Instrs: 3 * instrsPerRun},
+			{Engine: "regcode", Runs: 3, Instrs: 3 * instrsPerRun},
+			{Engine: "tree", Runs: 3, Instrs: 3 * instrsPerRun},
+		},
+	}
+}
+
+// TestGateVMRegcodeRatio: the regcode-over-bytecode ratio is gated the
+// same way as the bytecode-over-tree ratio — quiet within the
+// threshold, a finding past it, and the injected self-test regression
+// must degrade it enough to trip.
+func TestGateVMRegcodeRatio(t *testing.T) {
+	committed := vmRecord3(3.0, 2.0, 1000)
+	if findings := CompareVM(committed, committed, 15); len(findings) != 0 {
+		t.Errorf("self-comparison produced findings: %v", findings)
+	}
+	if findings := CompareVM(committed, vmRecord3(3.0, 1.9, 1000), 15); len(findings) != 0 {
+		t.Errorf("5%% regcode ratio drop tripped a 15%% gate: %v", findings)
+	}
+	findings := CompareVM(committed, vmRecord3(3.0, 1.6, 1000), 15)
+	if len(findings) == 0 {
+		t.Error("20% regcode ratio drop passed a 15% gate")
+	}
+	for _, f := range findings {
+		if !strings.Contains(f, "regcode speedup") {
+			t.Errorf("unexpected finding: %s", f)
+		}
+	}
+	fresh := vmRecord3(3.0, 2.0, 1000)
+	InjectVMRegression(fresh, 20)
+	if findings := CompareVM(committed, fresh, 15); len(findings) == 0 {
+		t.Error("injected 20% VM regression left the regcode ratio untripped")
+	}
+}
+
+// TestGateVMRegcodeFloor: whatever the committed record says, a fresh
+// regcode speedup below the absolute RegcodeSpeedupFloor is a finding
+// — the engine exists to clear that bar.
+func TestGateVMRegcodeFloor(t *testing.T) {
+	committed := vmRecord3(3.0, 1.52, 1000)
+	findings := CompareVM(committed, vmRecord3(3.0, 1.4, 1000), 15)
+	found := false
+	for _, f := range findings {
+		if strings.Contains(f, "below the 1.5x floor") {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("regcode at 1.40x passed the %.1fx floor: %v", RegcodeSpeedupFloor, findings)
+	}
+	// Records from before the regcode engine existed carry no
+	// RegcodeSpeedup at all; the floor must not fire on them.
+	old := vmRecord(3.0, 1000)
+	if findings := CompareVM(old, old, 15); len(findings) != 0 {
+		t.Errorf("two-engine legacy record tripped the gate: %v", findings)
+	}
+}
+
+// TestGateVMCrossEngineInstrs: within one fresh run every engine
+// executes the same programs, so a per-run instruction count that
+// differs from bytecode's means one of the engines miscounts.
+func TestGateVMCrossEngineInstrs(t *testing.T) {
+	committed := vmRecord3(3.0, 2.0, 1000)
+	fresh := vmRecord3(3.0, 2.0, 1000)
+	fresh.Engines[1].Instrs += 3
+	findings := CompareVM(committed, fresh, 15)
+	found := false
+	for _, f := range findings {
+		if strings.Contains(f, "an engine miscounts") {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("cross-engine instruction drift passed the gate: %v", findings)
+	}
+}
+
 // workloadSuite trims the stand-in suite to two benchmarks so the
 // end-to-end analysis benchmark stays fast under `go test`.
 func workloadSuite(t *testing.T) []workload.BenchParams {

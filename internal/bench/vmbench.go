@@ -2,7 +2,8 @@ package bench
 
 // vmbench.go measures the measurement engine itself: the same
 // profiled, allocated, hierarchically placed SPEC stand-in programs
-// executed by the bytecode engine and the legacy tree interpreter,
+// executed by every engine — the bytecode engine, the register-
+// transfer regcode engine, and the legacy tree interpreter —
 // reporting wall time and VM instruction throughput per engine. This
 // is the perf trajectory record (BENCH_vm.json): every number the
 // evaluation reports flows through these runs, so engine throughput is
@@ -33,6 +34,17 @@ type EngineBench struct {
 	InstrsPerSec float64 `json:"instrs_per_sec"` // VM instruction throughput
 }
 
+// BenchmarkEngineRow is one (benchmark, engine) cell of the suite:
+// the per-benchmark breakdown behind the aggregate EngineBench rows,
+// and the source of the EXPERIMENTS.md per-benchmark table.
+type BenchmarkEngineRow struct {
+	Benchmark    string  `json:"benchmark"`
+	Engine       string  `json:"engine"`
+	NSPerRun     float64 `json:"ns_per_run"`
+	Instrs       int64   `json:"instrs"` // dynamic VM instructions, one run
+	InstrsPerSec float64 `json:"instrs_per_sec"`
+}
+
 // VMBench is the serialized BENCH_vm.json shape.
 type VMBench struct {
 	Suite      string        `json:"suite"`
@@ -42,9 +54,16 @@ type VMBench struct {
 	GOARCH     string        `json:"goarch"`
 	Date       string        `json:"date"`
 	Engines    []EngineBench `json:"engines"`
+	// PerBenchmark breaks the engine aggregates down by suite
+	// benchmark, rows ordered benchmark-major in suite order.
+	PerBenchmark []BenchmarkEngineRow `json:"per_benchmark,omitempty"`
 	// Speedup is bytecode instruction throughput over the legacy tree
 	// interpreter's.
 	Speedup float64 `json:"speedup"`
+	// RegcodeSpeedup is regcode instruction throughput over the
+	// bytecode engine's — the ratio the regression gate holds to an
+	// absolute floor.
+	RegcodeSpeedup float64 `json:"regcode_speedup"`
 }
 
 // BenchVM prepares each suite benchmark once (generate, profile,
@@ -88,12 +107,13 @@ func BenchVM(suite []workload.BenchParams, reps int) (*VMBench, error) {
 	// The engines alternate within every repetition, so host frequency
 	// drift or background load during the measurement hits both engines
 	// alike instead of skewing the ratio.
-	engines := []vm.Engine{vm.EngineBytecode, vm.EngineTree}
+	engines := []vm.Engine{vm.EngineBytecode, vm.EngineRegcode, vm.EngineTree}
 	ebs := make([]EngineBench, len(engines))
 	for i, e := range engines {
 		ebs[i].Engine = e.String()
 	}
 	for _, pr := range progs {
+		rows := make([]BenchmarkEngineRow, len(engines))
 		for r := 0; r < reps; r++ {
 			for i, engine := range engines {
 				m := vm.New(pr.prog, vm.Config{Machine: mach, Engine: engine})
@@ -101,11 +121,23 @@ func BenchVM(suite []workload.BenchParams, reps int) (*VMBench, error) {
 				if _, err := m.Run(0); err != nil {
 					return nil, fmt.Errorf("benchvm %s [%v]: %w", pr.name, engine, err)
 				}
-				ebs[i].WallNS += time.Since(start).Nanoseconds()
+				wall := time.Since(start).Nanoseconds()
+				ebs[i].WallNS += wall
 				ebs[i].Instrs += m.Stats.Instrs
 				ebs[i].Runs++
+				rows[i].NSPerRun += float64(wall)
+				rows[i].Instrs = m.Stats.Instrs
 			}
 		}
+		for i, engine := range engines {
+			rows[i].Benchmark = pr.name
+			rows[i].Engine = engine.String()
+			rows[i].NSPerRun /= float64(reps)
+			if rows[i].NSPerRun > 0 {
+				rows[i].InstrsPerSec = float64(rows[i].Instrs) / (rows[i].NSPerRun / 1e9)
+			}
+		}
+		out.PerBenchmark = append(out.PerBenchmark, rows...)
 	}
 	for i := range ebs {
 		ebs[i].NSPerRun = float64(ebs[i].WallNS) / float64(ebs[i].Runs)
@@ -114,8 +146,12 @@ func BenchVM(suite []workload.BenchParams, reps int) (*VMBench, error) {
 		}
 	}
 	out.Engines = ebs
-	if out.Engines[1].InstrsPerSec > 0 {
-		out.Speedup = out.Engines[0].InstrsPerSec / out.Engines[1].InstrsPerSec
+	bc := findEngine(out, "bytecode")
+	if te := findEngine(out, "tree"); te != nil && te.InstrsPerSec > 0 {
+		out.Speedup = bc.InstrsPerSec / te.InstrsPerSec
+	}
+	if re := findEngine(out, "regcode"); re != nil && bc.InstrsPerSec > 0 {
+		out.RegcodeSpeedup = re.InstrsPerSec / bc.InstrsPerSec
 	}
 	return out, nil
 }

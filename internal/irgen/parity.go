@@ -1,0 +1,91 @@
+package irgen
+
+// parity.go cross-checks VM engines observation for observation: the
+// tree interpreter is the reference, and any divergence — result
+// value, error text, statistics counter, edge profile — is a
+// violation. The native fuzz target (FuzzEngineParity) and the
+// spillfuzz -parity sweep both drive these helpers.
+
+import (
+	"fmt"
+	"reflect"
+
+	"repro/internal/ir"
+	"repro/internal/machine"
+	"repro/internal/profile"
+	"repro/internal/regalloc"
+	"repro/internal/strategy"
+	"repro/internal/vm"
+)
+
+// engineOutcome is everything observable about one engine's run.
+type engineOutcome struct {
+	val   int64
+	err   string
+	stats vm.Stats
+	edges map[*ir.Edge]int64
+}
+
+func runOn(prog *ir.Program, e vm.Engine, cfg vm.Config, args []int64) engineOutcome {
+	cfg.Engine = e
+	m := vm.New(prog, cfg)
+	val, err := m.Run(args...)
+	o := engineOutcome{val: val, stats: m.Stats.Snapshot(), edges: m.EdgeCount}
+	if err != nil {
+		o.err = err.Error()
+	}
+	return o
+}
+
+// EngineParity runs prog on engine e and on the tree reference under
+// cfg and returns mismatch descriptions — nil when the two agree on
+// every observable.
+func EngineParity(prog *ir.Program, e vm.Engine, cfg vm.Config, args []int64) []string {
+	ref := runOn(prog, vm.EngineTree, cfg, args)
+	got := runOn(prog, e, cfg, args)
+	var ms []string
+	if got.err != ref.err {
+		ms = append(ms, fmt.Sprintf("%v error %q, tree %q", e, got.err, ref.err))
+	}
+	if got.err == "" && got.val != ref.val {
+		ms = append(ms, fmt.Sprintf("%v value %d, tree %d", e, got.val, ref.val))
+	}
+	if !reflect.DeepEqual(got.stats, ref.stats) {
+		ms = append(ms, fmt.Sprintf("%v stats %+v, tree %+v", e, got.stats, ref.stats))
+	}
+	if cfg.CollectEdges && !reflect.DeepEqual(got.edges, ref.edges) {
+		ms = append(ms, fmt.Sprintf("%v edge counts diverge from tree", e))
+	}
+	return ms
+}
+
+// EngineParitySweep runs the per-seed parity battery for one engine:
+// the raw program with edge collection under every given step budget
+// (small budgets force mid-quantum halts), and — when the program
+// profiles cleanly — the hierarchically placed program under
+// callee-saved convention checking. The input program is not mutated.
+func EngineParitySweep(prog *ir.Program, e vm.Engine, args []int64, budgets []int64) []string {
+	var ms []string
+	for _, b := range budgets {
+		for _, m := range EngineParity(prog, e, vm.Config{CollectEdges: true, MaxSteps: b}, args) {
+			ms = append(ms, fmt.Sprintf("budget %d: %s", b, m))
+		}
+	}
+	placed := prog.Clone()
+	if _, err := profile.CollectWithConfig(placed, vm.Config{MaxSteps: 1 << 22}, args...); err != nil {
+		// Programs that fail to profile (e.g. nonterminating under the
+		// cap) already exercised halt parity above.
+		return ms
+	}
+	mach := machine.PARISC()
+	if _, err := regalloc.AllocateProgramParallel(placed, mach, 1); err != nil {
+		return append(ms, "alloc: "+err.Error())
+	}
+	if err := strategy.PlaceProgram(placed, strategy.HierarchicalJump, 1); err != nil {
+		return append(ms, "place: "+err.Error())
+	}
+	for _, m := range EngineParity(placed, e, vm.Config{Machine: mach, CollectEdges: true, MaxSteps: 1 << 22}, args) {
+		ms = append(ms, "placed: "+m)
+	}
+	return ms
+}

@@ -36,6 +36,10 @@ func programKey(canonical string, req *PlaceRequest) string {
 		flags |= 2
 	}
 	h.Write([]byte{0, flags})
+	// The engine never changes response bytes (the engines are
+	// parity-tested), but the key covers every request field so no two
+	// distinct requests ever alias an entry.
+	io.WriteString(h, req.Engine)
 	return hex.EncodeToString(h.Sum(nil))
 }
 

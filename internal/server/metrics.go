@@ -113,6 +113,9 @@ type Snapshot struct {
 	// (lowest modeled cost) across strategy=best placements.
 	StrategyWins    map[string]int64 `json:"strategy_wins"`
 	PlacedFunctions int64            `json:"placed_functions"`
+	// EngineRuns counts run-mode requests per VM engine name, cache
+	// hits included.
+	EngineRuns map[string]int64 `json:"engine_runs"`
 }
 
 // metrics is the server's mutable counter state.
@@ -122,12 +125,17 @@ type metrics struct {
 	requests        RequestCounters
 	cold, cached    histogram
 	wins            map[string]int64
+	engineRuns      map[string]int64
 	analysisLenMax  int
 	placedFunctions int64
 }
 
 func newMetrics() *metrics {
-	return &metrics{start: time.Now(), wins: make(map[string]int64)}
+	return &metrics{
+		start:      time.Now(),
+		wins:       make(map[string]int64),
+		engineRuns: make(map[string]int64),
+	}
 }
 
 func (m *metrics) begin() {
@@ -163,6 +171,12 @@ func (m *metrics) done(status int, fromCache bool, d time.Duration) {
 func (m *metrics) win(strategy string) {
 	m.mu.Lock()
 	m.wins[strategy]++
+	m.mu.Unlock()
+}
+
+func (m *metrics) engineRun(engine string) {
+	m.mu.Lock()
+	m.engineRuns[engine]++
 	m.mu.Unlock()
 }
 

@@ -27,6 +27,7 @@ import (
 	"repro/internal/ir"
 	"repro/internal/irgen"
 	"repro/internal/irtext"
+	"repro/internal/vm"
 )
 
 // Config sizes the service's limits and caches. Zero fields take the
@@ -110,6 +111,11 @@ type PlaceRequest struct {
 	// Run additionally executes the placed program and reports the
 	// measured result.
 	Run bool `json:"run,omitempty"`
+	// Engine names the VM engine executions use (default "bytecode";
+	// "regcode" and "tree" are the alternatives). The engines are
+	// parity-tested to identical results, so the option only changes
+	// how fast run mode executes.
+	Engine string `json:"engine,omitempty"`
 	// Emit additionally returns the placed program's IR text.
 	Emit bool `json:"emit,omitempty"`
 }
@@ -261,6 +267,17 @@ func (s *Server) place(req *PlaceRequest) placeOutcome {
 	if req.Strategy == "" {
 		req.Strategy = "hierarchical-jump"
 	}
+	if req.Engine == "" {
+		req.Engine = "bytecode"
+	}
+	if _, err := vm.ParseEngine(req.Engine); err != nil {
+		return fail(http.StatusBadRequest, err)
+	}
+	if req.Run {
+		// Counted at admission, not execution, so cache hits show up in
+		// the per-engine totals too.
+		s.metrics.engineRun(req.Engine)
+	}
 	best := req.Strategy == "best"
 	var strat spillopt.Strategy
 	if !best {
@@ -298,6 +315,9 @@ func (s *Server) place(req *PlaceRequest) placeOutcome {
 	prog.UseAnalysisCache(s.ac)
 	prog.Parallelism = s.cfg.Parallelism
 	prog.MaxSteps = s.cfg.MaxVMSteps
+	if err := prog.UseEngine(req.Engine); err != nil {
+		return fail(http.StatusBadRequest, err)
+	}
 	if err := prog.Profile(req.Args...); err != nil {
 		return fail(http.StatusBadRequest, err)
 	}
@@ -492,6 +512,7 @@ func (s *Server) snapshot() Snapshot {
 	sn.Latency.Cold = m.cold.snapshot()
 	sn.Latency.Cached = m.cached.snapshot()
 	sn.StrategyWins = maps.Clone(m.wins)
+	sn.EngineRuns = maps.Clone(m.engineRuns)
 	sn.PlacedFunctions = m.placedFunctions
 	lenMax := m.analysisLenMax
 	m.mu.Unlock()

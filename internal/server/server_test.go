@@ -473,3 +473,56 @@ func TestGracefulShutdownNoLeak(t *testing.T) {
 	}
 	t.Errorf("goroutines: %d before, %d after shutdown", before, runtime.NumGoroutine())
 }
+
+// TestPlaceEngines: run mode accepts every engine name, all engines
+// report identical run results (they are parity-tested), unknown names
+// get 400, and /metrics counts run-mode requests per engine.
+func TestPlaceEngines(t *testing.T) {
+	s, ts := newTestServer(t, Config{})
+	src := testProgram(7)
+
+	var first []byte
+	for _, engine := range spillopt.Engines() {
+		resp, body := post(t, ts, PlaceRequest{IR: src, Args: []int64{5}, Run: true, Engine: engine})
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("engine %q: status %d: %s", engine, resp.StatusCode, body)
+		}
+		var pr PlaceResponse
+		if err := json.Unmarshal(body, &pr); err != nil {
+			t.Fatalf("engine %q: %v", engine, err)
+		}
+		if pr.Run == nil {
+			t.Fatalf("engine %q: no run result", engine)
+		}
+		// Strip nothing: the whole response must match across engines,
+		// run result included.
+		if first == nil {
+			first = body
+		} else if !bytes.Equal(body, first) {
+			t.Fatalf("engine %q response differs from first engine's:\n%s\nvs\n%s", engine, body, first)
+		}
+	}
+
+	// The default is the bytecode engine: an engineless request hits
+	// the same cache entry as an explicit engine=bytecode one.
+	resp, _ := post(t, ts, PlaceRequest{IR: src, Args: []int64{5}, Run: true})
+	if got := resp.Header.Get("X-Cache"); got != "program" {
+		t.Errorf("engineless resubmission: X-Cache = %q, want program", got)
+	}
+
+	resp, body := post(t, ts, PlaceRequest{IR: src, Run: true, Engine: "jit"})
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("unknown engine: status %d: %s", resp.StatusCode, body)
+	}
+	if !strings.Contains(string(body), "unknown engine") {
+		t.Fatalf("unknown engine: body %s", body)
+	}
+
+	sn := s.snapshot()
+	want := map[string]int64{"bytecode": 2, "regcode": 1, "tree": 1}
+	for engine, n := range want {
+		if sn.EngineRuns[engine] != n {
+			t.Errorf("engine_runs[%s] = %d, want %d (all: %v)", engine, sn.EngineRuns[engine], n, sn.EngineRuns)
+		}
+	}
+}

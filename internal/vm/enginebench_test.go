@@ -64,6 +64,8 @@ func benchEngine(b *testing.B, e vm.Engine) {
 
 func BenchmarkEngineBytecode(b *testing.B) { benchEngine(b, vm.EngineBytecode) }
 
+func BenchmarkEngineRegcode(b *testing.B) { benchEngine(b, vm.EngineRegcode) }
+
 func BenchmarkEngineTree(b *testing.B) { benchEngine(b, vm.EngineTree) }
 
 // BenchmarkEngineBytecodeProfiling measures the profiling
@@ -73,6 +75,17 @@ func BenchmarkEngineBytecodeProfiling(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		m := vm.New(w.prog, vm.Config{CollectEdges: true, Engine: vm.EngineBytecode})
+		if _, err := m.Run(0); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkEngineRegcodeProfiling(b *testing.B) {
+	w := placedBench(b, "vortex")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m := vm.New(w.prog, vm.Config{CollectEdges: true, Engine: vm.EngineRegcode})
 		if _, err := m.Run(0); err != nil {
 			b.Fatal(err)
 		}

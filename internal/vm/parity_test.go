@@ -1,11 +1,12 @@
 package vm_test
 
-// Differential parity harness: the bytecode engine (the default) and
-// the legacy tree-walking interpreter must agree exactly — return
-// value, every Stats counter including the per-function call map, the
-// per-edge execution counts, and error messages — on every checked-in
-// testdata program and on hundreds of generated programs, raw and
-// after every placement strategy, including step-limit halts.
+// Differential parity harness: the bytecode engine (the default), the
+// register-transfer regcode engine, and the legacy tree-walking
+// interpreter must agree exactly — return value, every Stats counter
+// including the per-function call map, the per-edge execution counts,
+// and error messages — on every checked-in testdata program and on
+// hundreds of generated programs, raw and after every placement
+// strategy, including step-limit halts.
 
 import (
 	"errors"
@@ -48,19 +49,21 @@ func runEngine(prog *ir.Program, e vm.Engine, cfg vm.Config, args []int64) runOu
 
 func assertParity(t *testing.T, label string, prog *ir.Program, cfg vm.Config, args []int64) {
 	t.Helper()
-	bc := runEngine(prog, vm.EngineBytecode, cfg, args)
 	tr := runEngine(prog, vm.EngineTree, cfg, args)
-	if bc.err != tr.err {
-		t.Fatalf("%s: error mismatch:\n  bytecode: %q\n  tree:     %q", label, bc.err, tr.err)
-	}
-	if bc.err == "" && bc.val != tr.val {
-		t.Fatalf("%s: value mismatch: bytecode %d, tree %d", label, bc.val, tr.val)
-	}
-	if !reflect.DeepEqual(bc.stats, tr.stats) {
-		t.Fatalf("%s: stats mismatch:\n  bytecode: %+v\n  tree:     %+v", label, bc.stats, tr.stats)
-	}
-	if cfg.CollectEdges && !reflect.DeepEqual(bc.edges, tr.edges) {
-		t.Fatalf("%s: edge count mismatch:\n  bytecode: %v\n  tree:     %v", label, bc.edges, tr.edges)
+	for _, e := range []vm.Engine{vm.EngineBytecode, vm.EngineRegcode} {
+		got := runEngine(prog, e, cfg, args)
+		if got.err != tr.err {
+			t.Fatalf("%s: error mismatch:\n  %-8v: %q\n  tree    : %q", label, e, got.err, tr.err)
+		}
+		if got.err == "" && got.val != tr.val {
+			t.Fatalf("%s: value mismatch: %v %d, tree %d", label, e, got.val, tr.val)
+		}
+		if !reflect.DeepEqual(got.stats, tr.stats) {
+			t.Fatalf("%s: stats mismatch:\n  %-8v: %+v\n  tree    : %+v", label, e, got.stats, tr.stats)
+		}
+		if cfg.CollectEdges && !reflect.DeepEqual(got.edges, tr.edges) {
+			t.Fatalf("%s: edge count mismatch:\n  %-8v: %v\n  tree    : %v", label, e, got.edges, tr.edges)
+		}
 	}
 }
 
@@ -220,7 +223,7 @@ func TestStepLimitError(t *testing.T) {
 	bu.F.RenumberBlocks()
 	bu.F.ClassifyEdges()
 
-	for _, e := range []vm.Engine{vm.EngineBytecode, vm.EngineTree} {
+	for _, e := range vm.Engines {
 		_, err := vm.New(p, vm.Config{MaxSteps: 10, Engine: e}).Run()
 		if err == nil {
 			t.Fatalf("%v: expected step limit error", e)

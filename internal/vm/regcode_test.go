@@ -1,0 +1,282 @@
+package vm
+
+// regcode_test.go pins the regcode engine's error paths to the tree
+// interpreter's, byte for byte: the step-limit error with its
+// function and block context, unknown-opcode rejection, and the
+// compiler's out-of-range frame and register handling. The broad
+// differential battery lives in parity_test.go; these tests target
+// the compiled paths a random program rarely hits.
+
+import (
+	"errors"
+	"reflect"
+	"strings"
+	"testing"
+
+	"repro/internal/ir"
+	"repro/internal/machine"
+)
+
+// runBoth executes prog on the regcode engine and the tree reference
+// with identical configs and returns both outcomes.
+func runBoth(t *testing.T, prog *ir.Program, cfg Config, args ...int64) (reg, tree struct {
+	val   int64
+	err   string
+	stats Stats
+}) {
+	t.Helper()
+	run := func(e Engine) (int64, string, Stats) {
+		c := cfg
+		c.Engine = e
+		m := New(prog, c)
+		val, err := m.Run(args...)
+		msg := ""
+		if err != nil {
+			msg = err.Error()
+		}
+		return val, msg, m.Stats.Snapshot()
+	}
+	reg.val, reg.err, reg.stats = run(EngineRegcode)
+	tree.val, tree.err, tree.stats = run(EngineTree)
+	return reg, tree
+}
+
+// assertSame fails unless the two outcomes match on every observable.
+func assertSame(t *testing.T, label string, reg, tree struct {
+	val   int64
+	err   string
+	stats Stats
+}) {
+	t.Helper()
+	if reg.err != tree.err {
+		t.Fatalf("%s: error mismatch:\n  regcode: %q\n  tree   : %q", label, reg.err, tree.err)
+	}
+	if reg.err == "" && reg.val != tree.val {
+		t.Fatalf("%s: value mismatch: regcode %d, tree %d", label, reg.val, tree.val)
+	}
+	if !reflect.DeepEqual(reg.stats, tree.stats) {
+		t.Fatalf("%s: stats mismatch:\n  regcode: %+v\n  tree   : %+v", label, reg.stats, tree.stats)
+	}
+}
+
+// TestRegcodeUnknownOpcode: an invalid opcode compiles to a trap that
+// reports the tree engine's exact message and counts the faulting
+// instruction as executed, wherever in a quantum it sits.
+func TestRegcodeUnknownOpcode(t *testing.T) {
+	bu := ir.NewBuilder("bad", 0)
+	bu.Block("entry")
+	bu.Const(1)
+	bu.Emit(&ir.Instr{Op: ir.Op(200), Dst: ir.NoReg, Src1: ir.NoReg, Src2: ir.NoReg})
+	bu.Ret(ir.NoReg)
+	p := ir.NewProgram()
+	p.Add(bu.Finish())
+
+	reg, tree := runBoth(t, p, Config{})
+	assertSame(t, "bad-op", reg, tree)
+	if !strings.Contains(reg.err, "unknown opcode") || !strings.Contains(reg.err, "bad") {
+		t.Fatalf("unknown-opcode error lacks context: %q", reg.err)
+	}
+	// At the exact budget boundary the trap loses to the step limit —
+	// the trap would be the instruction past the budget.
+	for _, lim := range []int64{1, 2, 3} {
+		reg, tree := runBoth(t, p, Config{MaxSteps: lim})
+		assertSame(t, "bad-op-budget", reg, tree)
+	}
+}
+
+// TestRegcodeStepLimitContext: the step-limit error wraps ErrStepLimit
+// and names the function and block where execution stopped, at every
+// halt position through a loop with fused superinstructions — the
+// quantum accounting must attribute the halt to the same instruction
+// the tree engine charges.
+func TestRegcodeStepLimitContext(t *testing.T) {
+	// inner: a counted loop whose latch fuses (const; add; const; cmp;
+	// br). main calls it, so halts land in both functions.
+	ib := ir.NewBuilder("inner", 1)
+	loop := ib.Block("loop")
+	one := ib.Const(1)
+	sum := ib.F.Params[0]
+	ib.Emit(&ir.Instr{Op: ir.OpAdd, Dst: sum, Src1: sum, Src2: one})
+	lim := ib.Const(100)
+	cond := ib.F.NewVirt()
+	ib.Emit(&ir.Instr{Op: ir.OpCmpLT, Dst: cond, Src1: sum, Src2: lim})
+	exit := ib.F.NewBlock("exit")
+	ib.Br(cond, loop, exit, 0, 0)
+	ib.SetCurrent(exit)
+	ib.Ret(sum)
+
+	mb := ir.NewBuilder("main", 1)
+	mb.Block("entry")
+	r := mb.F.NewVirt()
+	mb.Emit(&ir.Instr{Op: ir.OpCall, Dst: r, Src1: ir.NoReg, Src2: ir.NoReg,
+		Callee: "inner", Args: []ir.Reg{mb.F.Params[0]}})
+	mb.Ret(r)
+
+	p := ir.NewProgram()
+	p.Add(mb.Finish())
+	p.Add(ib.Finish())
+
+	for lim := int64(1); lim <= 40; lim++ {
+		reg, tree := runBoth(t, p, Config{MaxSteps: lim}, 0)
+		assertSame(t, "halt", reg, tree)
+		if reg.err == "" {
+			continue
+		}
+		c := Config{MaxSteps: lim, Engine: EngineRegcode}
+		_, err := New(p, c).Run(0)
+		if !errors.Is(err, ErrStepLimit) {
+			t.Fatalf("limit %d: error does not wrap ErrStepLimit: %v", lim, err)
+		}
+	}
+}
+
+// TestRegcodeOutOfRangeFrame: spill and save slots referenced past the
+// function's declared counts grow the frame at compile time, and
+// negative slot offsets fail identically to the other engines.
+func TestRegcodeOutOfRangeFrame(t *testing.T) {
+	bu := ir.NewBuilder("sp", 1)
+	bu.Block("entry")
+	// Slot 9 with zero declared slots: the verifier-grown frame must
+	// hold it in every engine.
+	bu.Emit(&ir.Instr{Op: ir.OpSpillStore, Dst: ir.NoReg, Src1: bu.F.Params[0],
+		Src2: ir.NoReg, Imm: 9, Flags: ir.FlagSpill})
+	v := bu.F.NewVirt()
+	bu.Emit(&ir.Instr{Op: ir.OpSpillLoad, Dst: v, Src1: ir.NoReg, Src2: ir.NoReg,
+		Imm: 9, Flags: ir.FlagSpill})
+	bu.Emit(&ir.Instr{Op: ir.OpSave, Dst: ir.NoReg, Src1: v, Src2: ir.NoReg,
+		Imm: 7, Flags: ir.FlagSaveRestore})
+	w := bu.F.NewVirt()
+	bu.Emit(&ir.Instr{Op: ir.OpRestore, Dst: w, Src1: ir.NoReg, Src2: ir.NoReg,
+		Imm: 7, Flags: ir.FlagSaveRestore})
+	bu.Ret(w)
+	p := ir.NewProgram()
+	p.Add(bu.Finish())
+
+	reg, tree := runBoth(t, p, Config{}, 55)
+	assertSame(t, "grown-slots", reg, tree)
+	if reg.err != "" || reg.val != 55 {
+		t.Fatalf("slot roundtrip = (%d, %q), want (55, no error)", reg.val, reg.err)
+	}
+	if reg.stats.SpillLoads != 1 || reg.stats.SpillStores != 1 || reg.stats.Saves != 1 || reg.stats.Restores != 1 {
+		t.Fatalf("overhead counters: %+v", reg.stats)
+	}
+}
+
+// TestRegcodeOutOfRegisterBank: physical registers past the machine's
+// callee-saved range widen the bank's physical prefix, and writes to
+// them survive into the global file across calls and returns — the
+// copy-in/copy-out discipline is what the convention checker reads.
+func TestRegcodeOutOfRegisterBank(t *testing.T) {
+	mach := machine.PARISC()
+	high := ir.Reg(60) // far beyond the machine's 24 registers
+
+	cb := ir.NewBuilder("callee", 0)
+	cb.Block("entry")
+	k := cb.Const(17)
+	cb.Emit(&ir.Instr{Op: ir.OpMov, Dst: high, Src1: k, Src2: ir.NoReg})
+	cb.Ret(ir.NoReg)
+
+	mb := ir.NewBuilder("main", 0)
+	mb.Block("entry")
+	mb.Emit(&ir.Instr{Op: ir.OpCall, Dst: ir.NoReg, Src1: ir.NoReg, Src2: ir.NoReg, Callee: "callee"})
+	r := mb.F.NewVirt()
+	mb.Emit(&ir.Instr{Op: ir.OpMov, Dst: r, Src1: high, Src2: ir.NoReg})
+	mb.Ret(r)
+
+	p := ir.NewProgram()
+	p.Add(mb.Finish())
+	p.Add(cb.Finish())
+
+	reg, tree := runBoth(t, p, Config{Machine: mach})
+	assertSame(t, "high-phys", reg, tree)
+	if reg.err != "" || reg.val != 17 {
+		t.Fatalf("high-register write = (%d, %q), want (17, no error)", reg.val, reg.err)
+	}
+}
+
+// TestRegcodeConventionViolation: a clobbered callee-saved register is
+// reported with the tree engine's exact message, and the erroring
+// frame's register file is what the checker saw.
+func TestRegcodeConventionViolation(t *testing.T) {
+	mach := machine.PARISC()
+	cs := mach.CalleeSaved()[0]
+
+	cb := ir.NewBuilder("clobber", 0)
+	cb.Block("entry")
+	k := cb.Const(99)
+	cb.Emit(&ir.Instr{Op: ir.OpMov, Dst: cs, Src1: k, Src2: ir.NoReg})
+	cb.Ret(ir.NoReg)
+
+	mb := ir.NewBuilder("main", 0)
+	mb.Block("entry")
+	mb.Emit(&ir.Instr{Op: ir.OpCall, Dst: ir.NoReg, Src1: ir.NoReg, Src2: ir.NoReg, Callee: "clobber"})
+	mb.Ret(ir.NoReg)
+
+	p := ir.NewProgram()
+	p.Add(mb.Finish())
+	p.Add(cb.Finish())
+
+	reg, tree := runBoth(t, p, Config{Machine: mach})
+	assertSame(t, "convention", reg, tree)
+	if !strings.Contains(reg.err, "violated callee-saved convention") || !strings.Contains(reg.err, "clobber") {
+		t.Fatalf("convention error lacks context: %q", reg.err)
+	}
+}
+
+// TestRegcodeArenaRelease: frames come from the chunked arena with
+// LIFO discipline — after any run, successful or erroring, the arena
+// is fully released and a second run on the same VM reuses it.
+func TestRegcodeArenaRelease(t *testing.T) {
+	// Deep recursion: 64 live frames, then unwinding.
+	fb := ir.NewBuilder("f", 1)
+	entry := fb.Block("entry")
+	rec := fb.F.NewBlock("rec")
+	base := fb.F.NewBlock("base")
+	fb.SetCurrent(entry)
+	cond := fb.F.NewVirt()
+	zero := fb.Const(0)
+	fb.Emit(&ir.Instr{Op: ir.OpCmpGT, Dst: cond, Src1: fb.F.Params[0], Src2: zero})
+	fb.Br(cond, rec, base, 0, 0)
+	fb.SetCurrent(rec)
+	one := fb.Const(1)
+	next := fb.F.NewVirt()
+	fb.Emit(&ir.Instr{Op: ir.OpSub, Dst: next, Src1: fb.F.Params[0], Src2: one})
+	r := fb.F.NewVirt()
+	fb.Emit(&ir.Instr{Op: ir.OpCall, Dst: r, Src1: ir.NoReg, Src2: ir.NoReg,
+		Callee: "f", Args: []ir.Reg{next}})
+	fb.Ret(r)
+	fb.SetCurrent(base)
+	fb.Ret(fb.F.Params[0])
+
+	p := ir.NewProgram()
+	p.Main = "f"
+	p.Add(fb.Finish())
+
+	m := New(p, Config{Engine: EngineRegcode})
+	for i := 0; i < 2; i++ {
+		if _, err := m.Run(64); err != nil {
+			t.Fatal(err)
+		}
+		if m.arena.ci != 0 || m.arena.off != 0 {
+			t.Fatalf("run %d: arena not released: ci=%d off=%d", i, m.arena.ci, m.arena.off)
+		}
+	}
+	chunks := len(m.arena.chunks)
+
+	// An erroring run (step limit deep in the recursion) must release
+	// everything too, without growing the arena past the first run's
+	// high-water mark.
+	if _, err := m.Run(64); err != nil {
+		t.Fatal(err)
+	}
+	me := New(p, Config{Engine: EngineRegcode, MaxSteps: 50})
+	if _, err := me.Run(64); err == nil {
+		t.Fatal("expected step limit error")
+	}
+	if me.arena.ci != 0 || me.arena.off != 0 {
+		t.Fatalf("erroring run: arena not released: ci=%d off=%d", me.arena.ci, me.arena.off)
+	}
+	if got := len(m.arena.chunks); got != chunks {
+		t.Fatalf("arena grew across identical runs: %d -> %d chunks", chunks, got)
+	}
+}

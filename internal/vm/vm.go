@@ -5,7 +5,7 @@
 // convention — a placement bug becomes a hard execution error, not a
 // silently wrong count.
 //
-// Two engines implement the same observable semantics:
+// Three engines implement the same observable semantics:
 //
 //   - EngineBytecode (the default) lowers each function once into a
 //     flat, pre-decoded instruction array — branch targets resolved to
@@ -13,9 +13,16 @@
 //     profiled edges resolved to dense indices — and executes it in a
 //     tight dispatch loop with pooled, exactly-sized frames and dense
 //     counters (see bytecode.go, exec.go).
+//   - EngineRegcode lowers each function into register-transfer code:
+//     physical registers, virtuals, and frame slots share one flat
+//     per-invocation register bank so every operand access is a single
+//     slice index, superinstruction fusion covers whole loop-header
+//     shapes, step accounting is batched per straight-line quantum,
+//     and frames come from a chunked arena instead of sync.Pool (see
+//     regcode.go, regexec.go).
 //   - EngineTree is the original tree-walking interpreter over
 //     *ir.Block pointers (tree.go). It is kept as the differential
-//     reference; the parity tests prove both engines agree exactly on
+//     reference; the parity tests prove all engines agree exactly on
 //     values, statistics, edge profiles, and error reporting.
 package vm
 
@@ -112,27 +119,39 @@ const (
 	// arrays and runs a tight dispatch loop. The default.
 	EngineBytecode Engine = iota
 	// EngineTree is the legacy tree-walking interpreter, kept as the
-	// differential reference for the bytecode engine.
+	// differential reference for the compiled engines.
 	EngineTree
+	// EngineRegcode is the register-transfer engine: a unified
+	// register bank per invocation, loop-header superinstructions,
+	// quantum-batched step accounting, and arena-allocated frames.
+	EngineRegcode
 )
 
-// String names the engine ("bytecode" or "tree").
+// String names the engine ("bytecode", "regcode", or "tree").
 func (e Engine) String() string {
-	if e == EngineTree {
+	switch e {
+	case EngineTree:
 		return "tree"
+	case EngineRegcode:
+		return "regcode"
 	}
 	return "bytecode"
 }
+
+// Engines lists every execution engine, for harnesses that sweep them.
+var Engines = []Engine{EngineBytecode, EngineRegcode, EngineTree}
 
 // ParseEngine maps an engine name back to the enum, for CLI flags.
 func ParseEngine(s string) (Engine, error) {
 	switch s {
 	case "bytecode":
 		return EngineBytecode, nil
+	case "regcode":
+		return EngineRegcode, nil
 	case "tree":
 		return EngineTree, nil
 	}
-	return 0, fmt.Errorf("vm: unknown engine %q (want bytecode or tree)", s)
+	return 0, fmt.Errorf("vm: unknown engine %q (want bytecode, regcode, or tree)", s)
 }
 
 // Config controls a VM run.
@@ -160,18 +179,20 @@ type VM struct {
 	heap  []int64
 	steps int64
 
-	// Bytecode engine state. The program is compiled once, at New;
+	// Compiled-engine state. The program is compiled once, at New;
 	// mutate the program after that and the VM keeps executing the
 	// shape it compiled — create a new VM instead.
 	code       *bcProgram
-	callDense  []int64  // per-function call counts, flushed into Stats.Calls
-	edgeDense  []int64  // per-edge traversal counts, flushed into EdgeCount
-	csRegs     []ir.Reg // the machine's callee-saved registers, precomputed
-	csPhys     []int32  // their hardware numbers, for the snapshot loops
-	csFrom     int      // callee-saved registers are the contiguous
-	csTo       int      // range [csFrom, csTo) of the physical file
-	snap       []int64  // convention-check snapshot stack, one segment per live call
-	argScratch []int64  // call argument evaluation stack, one segment per live call
+	rcode      *rcProgram // regcode engine program
+	arena      rcArena    // regcode engine frame arena
+	callDense  []int64    // per-function call counts, flushed into Stats.Calls
+	edgeDense  []int64    // per-edge traversal counts, flushed into EdgeCount
+	csRegs     []ir.Reg   // the machine's callee-saved registers, precomputed
+	csPhys     []int32    // their hardware numbers, for the snapshot loops
+	csFrom     int        // callee-saved registers are the contiguous
+	csTo       int        // range [csFrom, csTo) of the physical file
+	snap       []int64    // convention-check snapshot stack, one segment per live call
+	argScratch []int64    // call argument evaluation stack, one segment per live call
 
 	Stats     Stats
 	EdgeCount map[*ir.Edge]int64
@@ -201,8 +222,11 @@ func New(prog *ir.Program, cfg Config) *VM {
 		v.csFrom = cfg.Machine.CalleeSavedFrom
 		v.csTo = cfg.Machine.NumRegs
 	}
-	if cfg.Engine == EngineBytecode {
+	switch cfg.Engine {
+	case EngineBytecode:
 		v.code = compileProgram(prog)
+	case EngineRegcode:
+		v.rcode = compileRegProgram(prog, v.csTo)
 	}
 	v.Stats.Calls = make(map[string]int64)
 	if cfg.CollectEdges {
@@ -214,8 +238,11 @@ func New(prog *ir.Program, cfg Config) *VM {
 // Run executes the program's main function with the given arguments
 // and returns its result.
 func (v *VM) Run(args ...int64) (int64, error) {
-	if v.cfg.Engine == EngineTree {
+	switch v.cfg.Engine {
+	case EngineTree:
 		return v.runTree(args)
+	case EngineRegcode:
+		return v.runRegcode(args)
 	}
 	return v.runBytecode(args)
 }

@@ -133,8 +133,14 @@ type Program struct {
 	// tree-walking interpreter instead of the default bytecode engine.
 	// Every measured count is identical either way (the engines are
 	// parity-tested); the legacy engine exists as the differential
-	// reference and is several times slower.
+	// reference and is several times slower. UseEngine, when called,
+	// overrides this knob.
 	UseLegacyVM bool
+
+	// eng is the engine selected by UseEngine; engSet records that the
+	// selection happened, since the zero Engine is the default.
+	eng    vm.Engine
+	engSet bool
 
 	// MaxSteps bounds every VM execution (Profile and Run). Zero
 	// means the VM's default budget; services handling untrusted IR
@@ -486,8 +492,34 @@ func (p *Program) DotPST(funcName string) (string, error) {
 	return dot.PST(f, t), nil
 }
 
-// engine maps the facade knob to the VM's engine enum.
+// UseEngine selects the VM engine Profile and Run execute on, by name
+// ("bytecode", "regcode", or "tree" — see Engines). The engines are
+// parity-tested to produce identical results and counts; they differ
+// only in speed. An explicit selection overrides UseLegacyVM.
+func (p *Program) UseEngine(name string) error {
+	e, err := vm.ParseEngine(name)
+	if err != nil {
+		return err
+	}
+	p.eng = e
+	p.engSet = true
+	return nil
+}
+
+// Engines lists the VM engine names UseEngine accepts, in sweep order.
+func Engines() []string {
+	names := make([]string, len(vm.Engines))
+	for i, e := range vm.Engines {
+		names[i] = e.String()
+	}
+	return names
+}
+
+// engine maps the facade knobs to the VM's engine enum.
 func (p *Program) engine() vm.Engine {
+	if p.engSet {
+		return p.eng
+	}
 	if p.UseLegacyVM {
 		return vm.EngineTree
 	}
@@ -503,6 +535,8 @@ func (p *Program) Clone() *Program {
 		cache:       analysis.NewCache(),
 		Parallelism: p.Parallelism,
 		UseLegacyVM: p.UseLegacyVM,
+		eng:         p.eng,
+		engSet:      p.engSet,
 		MaxSteps:    p.MaxSteps,
 		profiled:    p.profiled,
 		allocated:   p.allocated,
