@@ -270,12 +270,12 @@ func TestApplyDeltaByteIdentityTestdata(t *testing.T) {
 	}
 }
 
-// TestApplyDeltaByteIdentityGenerated runs the identity check over 120
+// TestApplyDeltaByteIdentityGenerated runs the identity check over 300
 // generated programs (every function that uses callee-saved registers).
 func TestApplyDeltaByteIdentityGenerated(t *testing.T) {
 	funcs, splits := 0, 0
 	for _, s := range []strategy.Strategy{strategy.HierarchicalJump, strategy.ShrinkwrapSeed} {
-		for seed := uint64(0); seed < 120; seed++ {
+		for seed := uint64(0); seed < 300; seed++ {
 			prog := irgen.Generate(seed, irgen.Default())
 			if _, err := profile.Collect(prog, 40); err != nil {
 				continue // a generated program the profiler rejects is not this test's concern

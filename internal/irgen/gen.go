@@ -266,7 +266,7 @@ func (g *gen) genStraight() {
 	}
 	for k := 0; k < n; k++ {
 		c := bu.Const(int64(g.rng.intn(97) + 1))
-		switch g.rng.intn(6) {
+		switch g.rng.intn(7) {
 		case 0:
 			bu.BinInto(ir.OpAdd, g.acc, g.acc, c)
 		case 1:
@@ -279,6 +279,11 @@ func (g *gen) genStraight() {
 			bu.BinInto(ir.OpAnd, g.acc, t, mask)
 		case 4:
 			bu.BinInto(ir.OpOr, g.acc, g.acc, c)
+		case 5:
+			// The const feeds both operands of the binop — the shape
+			// engines fuse with no register operand at all.
+			t := bu.Bin(ir.OpMul, c, c)
+			bu.BinInto(ir.OpXor, g.acc, g.acc, t)
 		default:
 			mask := bu.Const(1023)
 			t := bu.Bin(ir.OpAnd, g.acc, mask)
@@ -288,9 +293,19 @@ func (g *gen) genStraight() {
 }
 
 // condition emits a branch condition true with probability roughly
-// thresh/256, decorrelated by a salt.
+// thresh/256, decorrelated by a salt. Occasionally it degenerates to a
+// constant self-compare (c = const k; cmp c, c) — the branch that
+// follows then fuses into a const+cmp+br superinstruction with no
+// register operand, a shape nothing else in the generator produces.
 func (g *gen) condition(thresh int64) ir.Reg {
 	bu := g.bu
+	if g.rng.intn(16) == 0 {
+		c := bu.Const(int64(g.rng.intn(251)))
+		if g.rng.intn(2) == 0 {
+			return bu.Bin(ir.OpCmpLT, c, c) // constant false
+		}
+		return bu.Bin(ir.OpCmpLE, c, c) // constant true
+	}
 	salt := bu.Const(int64(g.rng.intn(251)))
 	x := bu.Bin(ir.OpAdd, g.acc, salt)
 	mask := bu.Const(255)

@@ -9,6 +9,7 @@ package vm
 
 import (
 	"errors"
+	"fmt"
 	"reflect"
 	"strings"
 	"testing"
@@ -220,6 +221,100 @@ func TestRegcodeConventionViolation(t *testing.T) {
 	assertSame(t, "convention", reg, tree)
 	if !strings.Contains(reg.err, "violated callee-saved convention") || !strings.Contains(reg.err, "clobber") {
 		t.Fatalf("convention error lacks context: %q", reg.err)
+	}
+}
+
+// countFormTwo compiles prog for the regcode engine and counts the
+// fused const-feeding instructions whose form is 2 (const feeds both
+// operands, so the register operand field holds -1).
+func countFormTwo(prog *ir.Program) int {
+	v := New(prog, Config{Engine: EngineRegcode})
+	n := 0
+	for _, fc := range v.rcode.funcs {
+		for i := range fc.ins {
+			in := &fc.ins[i]
+			switch {
+			case (in.op == rConstBin || in.op == rConstBinSpillSt || in.op == rConstBinSpillStOv) && in.t2 == 2:
+				n++
+			case in.op >= rConstCmpEQBr && in.op <= rConstCmpGEBr && in.c == 2:
+				n++
+			}
+		}
+	}
+	return n
+}
+
+// TestRegcodeConstFormTwo: a const feeding BOTH operands of its fused
+// consumer (form 2) stores -1 in the register-operand field, which the
+// dispatch loop must never read. Covers all three fused shapes —
+// const+binop, const+cmp+br, and const+binop+spill.st (plain and
+// overhead-flagged) — in the quantum loop and, via the step-limit
+// sweep, their careful-mode counterparts.
+func TestRegcodeConstFormTwo(t *testing.T) {
+	build := func(f func(bu *ir.Builder)) *ir.Program {
+		bu := ir.NewBuilder("main", 0)
+		bu.Block("entry")
+		f(bu)
+		p := ir.NewProgram()
+		p.Add(bu.Finish())
+		return p
+	}
+
+	progs := map[string]*ir.Program{
+		// c = const 5; d = add c, c → rConstBin form 2, returns 10.
+		"bin": build(func(bu *ir.Builder) {
+			c := bu.Const(5)
+			bu.Ret(bu.Bin(ir.OpAdd, c, c))
+		}),
+		// c = const 5; t = cmpeq c, c; br t → rConstCmpEQBr form 2.
+		"cmp-br": build(func(bu *ir.Builder) {
+			c := bu.Const(5)
+			cond := bu.Bin(ir.OpCmpEQ, c, c)
+			yes := bu.F.NewBlock("yes")
+			no := bu.F.NewBlock("no")
+			bu.Br(cond, yes, no, 0, 0)
+			bu.SetCurrent(yes)
+			one := bu.Const(1)
+			bu.Ret(one)
+			bu.SetCurrent(no)
+			bu.Ret(ir.NoReg)
+		}),
+		// c = const 6; d = mul c, c; spill.st 3, d → rConstBinSpillSt
+		// form 2, returns 36 through the slot.
+		"bin-spillst": build(func(bu *ir.Builder) {
+			c := bu.Const(6)
+			d := bu.Bin(ir.OpMul, c, c)
+			bu.Emit(&ir.Instr{Op: ir.OpSpillStore, Dst: ir.NoReg, Src1: d, Src2: ir.NoReg, Imm: 3})
+			v := bu.F.NewVirt()
+			bu.Emit(&ir.Instr{Op: ir.OpSpillLoad, Dst: v, Src1: ir.NoReg, Src2: ir.NoReg, Imm: 3})
+			bu.Ret(v)
+		}),
+		// Same shape with !sp overhead flags → rConstBinSpillStOv form 2.
+		"bin-spillst-ov": build(func(bu *ir.Builder) {
+			c := bu.Const(6)
+			d := bu.Bin(ir.OpMul, c, c)
+			bu.Emit(&ir.Instr{Op: ir.OpSpillStore, Dst: ir.NoReg, Src1: d, Src2: ir.NoReg, Imm: 3, Flags: ir.FlagSpill})
+			v := bu.F.NewVirt()
+			bu.Emit(&ir.Instr{Op: ir.OpSpillLoad, Dst: v, Src1: ir.NoReg, Src2: ir.NoReg, Imm: 3, Flags: ir.FlagSpill})
+			bu.Ret(v)
+		}),
+	}
+
+	want := map[string]int64{"bin": 10, "cmp-br": 1, "bin-spillst": 36, "bin-spillst-ov": 36}
+	for name, p := range progs {
+		if n := countFormTwo(p); n == 0 {
+			t.Fatalf("%s: no form-2 fused instruction compiled — the shape no longer exercises the fusion", name)
+		}
+		reg, tree := runBoth(t, p, Config{})
+		assertSame(t, name, reg, tree)
+		if reg.err != "" || reg.val != want[name] {
+			t.Fatalf("%s = (%d, %q), want (%d, no error)", name, reg.val, reg.err, want[name])
+		}
+		// Every halt position, to drive the careful-mode counterparts.
+		for lim := int64(1); lim <= 12; lim++ {
+			reg, tree := runBoth(t, p, Config{MaxSteps: lim})
+			assertSame(t, fmt.Sprintf("%s lim=%d", name, lim), reg, tree)
+		}
 	}
 }
 

@@ -161,13 +161,15 @@ func rcmp(rel ir.Op, x, y int64) int64 {
 }
 
 // constOperands resolves a const-feeding fused form to the operand
-// pair: 0 = other•K, 1 = K•other, 2 = K•K.
-func constOperands(form int32, other, k int64) (int64, int64) {
+// pair: 0 = other•K, 1 = K•other, 2 = K•K. The other-operand register
+// is read lazily because form 2 (const feeds both sources) has no
+// other operand and the compiler stores -1 in the register field.
+func constOperands(form int32, bank []int64, a int32, k int64) (int64, int64) {
 	switch form {
 	case 0:
-		return other, k
+		return bank[a], k
 	case 1:
-		return k, other
+		return k, bank[a]
 	}
 	return k, k
 }
@@ -422,7 +424,7 @@ func (v *VM) rexec(fi int32, args []int64, depth int) (int64, error) {
 			goto fusedBr
 		case rConstBin, rConstBinSpillSt, rConstBinSpillStOv:
 			bank[in.b] = in.imm
-			x, y := constOperands(in.t2, bank[in.a], in.imm)
+			x, y := constOperands(in.t2, bank, in.a, in.imm)
 			var r int64
 			switch ir.Op(in.t1) {
 			case ir.OpAdd:
@@ -472,32 +474,32 @@ func (v *VM) rexec(fi int32, args []int64, depth int) (int64, error) {
 			}
 		case rConstCmpEQBr:
 			bank[in.b] = in.imm
-			x, y := constOperands(in.c, bank[in.a], in.imm)
+			x, y := constOperands(in.c, bank, in.a, in.imm)
 			cond = b2i(x == y)
 			goto fusedBr
 		case rConstCmpNEBr:
 			bank[in.b] = in.imm
-			x, y := constOperands(in.c, bank[in.a], in.imm)
+			x, y := constOperands(in.c, bank, in.a, in.imm)
 			cond = b2i(x != y)
 			goto fusedBr
 		case rConstCmpLTBr:
 			bank[in.b] = in.imm
-			x, y := constOperands(in.c, bank[in.a], in.imm)
+			x, y := constOperands(in.c, bank, in.a, in.imm)
 			cond = b2i(x < y)
 			goto fusedBr
 		case rConstCmpLEBr:
 			bank[in.b] = in.imm
-			x, y := constOperands(in.c, bank[in.a], in.imm)
+			x, y := constOperands(in.c, bank, in.a, in.imm)
 			cond = b2i(x <= y)
 			goto fusedBr
 		case rConstCmpGTBr:
 			bank[in.b] = in.imm
-			x, y := constOperands(in.c, bank[in.a], in.imm)
+			x, y := constOperands(in.c, bank, in.a, in.imm)
 			cond = b2i(x > y)
 			goto fusedBr
 		case rConstCmpGEBr:
 			bank[in.b] = in.imm
-			x, y := constOperands(in.c, bank[in.a], in.imm)
+			x, y := constOperands(in.c, bank, in.a, in.imm)
 			cond = b2i(x >= y)
 			goto fusedBr
 		case rLatchEQ:
@@ -717,7 +719,7 @@ func (v *VM) rcareful(fc *rcFunc, bank []int64, pc int, n, loads, stores, budget
 			if n > budget {
 				return halt()
 			}
-			x, y := constOperands(in.t2, bank[in.a], in.imm)
+			x, y := constOperands(in.t2, bank, in.a, in.imm)
 			bank[in.dst] = rbin(ir.Op(in.t1), x, y)
 		case rConstCmpEQBr, rConstCmpNEBr, rConstCmpLTBr, rConstCmpLEBr, rConstCmpGTBr, rConstCmpGEBr:
 			bank[in.b] = in.imm
@@ -725,7 +727,7 @@ func (v *VM) rcareful(fc *rcFunc, bank []int64, pc int, n, loads, stores, budget
 			if n > budget {
 				return halt()
 			}
-			x, y := constOperands(in.c, bank[in.a], in.imm)
+			x, y := constOperands(in.c, bank, in.a, in.imm)
 			bank[in.dst] = rcmp(in.op-rConstCmpEQBr, x, y)
 			n++
 			if n > budget {
@@ -760,7 +762,7 @@ func (v *VM) rcareful(fc *rcFunc, bank []int64, pc int, n, loads, stores, budget
 			if n > budget {
 				return halt()
 			}
-			x, y := constOperands(in.t2, bank[in.a], in.imm)
+			x, y := constOperands(in.t2, bank, in.a, in.imm)
 			res := rbin(ir.Op(in.t1), x, y)
 			bank[in.dst] = res
 			n++
