@@ -6,6 +6,7 @@
 //	benchdiff -machines BENCH_machines.json # multi-machine sweep gate
 //	benchdiff -analysis BENCH_analysis.json # incremental analysis gate
 //	benchdiff -serve BENCH_serve.json       # placement service gate
+//	benchdiff -tiered BENCH_tiered.json     # tiered re-placement gate
 //	benchdiff -vm ... -machines ... -threshold 15
 //	benchdiff -machines ... -inject 20      # self-test: must fail
 //
@@ -19,8 +20,12 @@
 // of the delta patchers; the serve gate re-runs the in-process loadgen
 // sweep and compares the cached-over-cold speedup (5x absolute floor),
 // the deterministic cache hit counters, and the analysis cache's
-// eviction bound. -inject degrades the fresh numbers by the given
-// percentage so the CI job can prove the gate actually trips.
+// eviction bound; the tiered gate re-runs the static-vs-measured
+// re-placement comparison on the hostile suite and compares the
+// deterministic per-preset overheads, requiring the best preset's gain
+// to clear the absolute floor. -inject degrades the fresh numbers by
+// the given percentage so the CI job can prove the gate actually
+// trips.
 package main
 
 import (
@@ -39,14 +44,15 @@ func main() {
 	machPath := flag.String("machines", "", "committed BENCH_machines.json to gate against")
 	analysisPath := flag.String("analysis", "", "committed BENCH_analysis.json to gate against")
 	servePath := flag.String("serve", "", "committed BENCH_serve.json to gate against")
+	tieredPath := flag.String("tiered", "", "committed BENCH_tiered.json to gate against")
 	threshold := flag.Float64("threshold", 15, "allowed regression in percent")
 	reps := flag.Int("reps", 1, "VM executions per benchmark per engine for the fresh -vm run")
 	jobs := flag.Int("j", 0, "worker pool size (0 = GOMAXPROCS)")
 	inject := flag.Float64("inject", 0, "artificially degrade the fresh numbers by this percentage (gate self-test)")
 	flag.Parse()
 
-	if *vmPath == "" && *machPath == "" && *analysisPath == "" && *servePath == "" {
-		fmt.Fprintln(os.Stderr, "benchdiff: nothing to compare; pass -vm, -machines, -analysis, and/or -serve")
+	if *vmPath == "" && *machPath == "" && *analysisPath == "" && *servePath == "" && *tieredPath == "" {
+		fmt.Fprintln(os.Stderr, "benchdiff: nothing to compare; pass -vm, -machines, -analysis, -serve, and/or -tiered")
 		os.Exit(2)
 	}
 
@@ -117,6 +123,34 @@ func main() {
 			committed.CachedSpeedup, fresh.CachedSpeedup, fresh.Requests,
 			fresh.ProgramHits, fresh.FunctionHits, fresh.AnalysisLenMax, fresh.AnalysisBudget)
 		findings = append(findings, bench.CompareServe(&committed, fresh, *threshold)...)
+	}
+
+	if *tieredPath != "" {
+		var committed bench.TieredBench
+		readJSON(*tieredPath, &committed)
+		// The fresh run must cover the committed record's suite: same
+		// seeds (benchmark names carry them) and quantum.
+		n := len(committed.Benchmarks)
+		var base uint64
+		if n > 0 {
+			if _, err := fmt.Sscanf(committed.Benchmarks[0], "hostile-%d", &base); err != nil {
+				fatal(fmt.Errorf("%s: unrecognized benchmark name %q", *tieredPath, committed.Benchmarks[0]))
+			}
+		}
+		fresh, err := bench.BenchTiered(bench.HostileSuite(base, n), committed.Quantum, *reps)
+		if err != nil {
+			fatal(err)
+		}
+		if *inject > 0 {
+			bench.InjectTieredRegression(fresh, *inject)
+		}
+		fmt.Printf("tiered: committed best gain %.3fx, fresh %.3fx (floor %.2fx)\n",
+			committed.BestGain, fresh.BestGain, bench.TieredGainFloor)
+		for _, m := range fresh.Machines {
+			fmt.Printf("tiered: %-14s static=%d tiered=%d gain=%.3fx boundaries=%d\n",
+				m.Machine, m.StaticOverhead, m.TieredOverhead, m.Gain, m.Boundaries)
+		}
+		findings = append(findings, bench.CompareTiered(&committed, fresh, *threshold)...)
 	}
 
 	if len(findings) > 0 {

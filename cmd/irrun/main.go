@@ -1,10 +1,15 @@
 // Command irrun executes a textual IR program in the interpreter and
 // reports dynamic statistics; with -profile it also prints the edge
-// execution counts the placement algorithms consume.
+// execution counts the placement algorithms consume. With -tier the
+// program instead goes through the full tiered pipeline — static
+// estimate, allocation, tier 0 under the step quantum, measured
+// re-alignment and re-placement at the boundary, tier 1 on the result
+// — and the report includes the tier boundary details.
 //
 // Usage:
 //
 //	irrun [-arg N] [-profile] [-check] [-engine bytecode|regcode|tree] prog.ir
+//	irrun -tier [-quantum N] [-arg N] prog.ir
 package main
 
 import (
@@ -13,6 +18,7 @@ import (
 	"os"
 	"sort"
 
+	"repro"
 	"repro/internal/ir"
 	"repro/internal/irtext"
 	"repro/internal/machine"
@@ -24,6 +30,8 @@ func main() {
 	prof := flag.Bool("profile", false, "print per-edge execution counts")
 	check := flag.Bool("check", false, "enforce the callee-saved register convention")
 	engine := flag.String("engine", "bytecode", "execution engine: bytecode, regcode, or tree (the legacy reference)")
+	tierF := flag.Bool("tier", false, "run the tiered pipeline: estimate, allocate, profile tier 0 for -quantum steps, re-place from the measured weights, finish on tier 1")
+	quantum := flag.Int64("quantum", 0, "with -tier: tier-0 step quantum (0 = the pipeline default)")
 	flag.Parse()
 
 	eng, err := vm.ParseEngine(*engine)
@@ -39,6 +47,12 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
+
+	if *tierF {
+		runTiered(string(src), *arg, *quantum, *engine)
+		return
+	}
+
 	prog, err := irtext.Parse(string(src))
 	if err != nil {
 		fatal(err)
@@ -82,6 +96,59 @@ func main() {
 				}
 			}
 		}
+	}
+}
+
+// runTiered drives the spillopt facade's tiered pipeline on the raw
+// program and reports the merged statistics plus the tier boundary
+// details. The engine flag is honored only when given explicitly, so
+// the pipeline's native regcode tier-1 engine stays the default.
+func runTiered(src string, arg, quantum int64, engine string) {
+	p, err := spillopt.ParseProgram(src)
+	if err != nil {
+		fatal(err)
+	}
+	engineSet := false
+	flag.Visit(func(f *flag.Flag) {
+		if f.Name == "engine" {
+			engineSet = true
+		}
+	})
+	if engineSet {
+		if err := p.UseEngine(engine); err != nil {
+			fatal(err)
+		}
+	}
+	if err := p.UseTiering(quantum); err != nil {
+		fatal(err)
+	}
+	if err := p.Allocate(); err != nil {
+		fatal(err)
+	}
+	if err := p.Place(spillopt.HierarchicalJump); err != nil {
+		fatal(err)
+	}
+	// Match the untiered path's arity handling: pass -arg only when the
+	// entry function takes a parameter.
+	raw, err := irtext.Parse(src)
+	if err != nil {
+		fatal(err)
+	}
+	var args []int64
+	if f := raw.Func(raw.Main); f != nil && len(f.Params) > 0 {
+		args = append(args, arg)
+	}
+	res, err := p.Run(args...)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("result: %d\n", res.Value)
+	fmt.Printf("instructions: %d\n", res.Instrs)
+	fmt.Printf("overhead: %d cost: %d (spill ld/st %d/%d, save/restore %d/%d, jump-block jumps %d)\n",
+		res.Overhead, res.Cost, res.SpillLoads, res.SpillStores, res.Saves, res.Restores, res.JumpBlockJumps)
+	if tr := p.TierReport(); tr != nil {
+		fmt.Printf("tier: boundary=%v realigned=%d replaced=%d tier0=%d tier1=%d\n",
+			tr.Boundary, tr.Realigned, tr.Replaced, tr.Tier0Instrs, tr.Tier1Instrs)
 	}
 }
 

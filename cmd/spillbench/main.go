@@ -25,12 +25,21 @@
 //	spillbench -json out.json -cpuprofile cpu.pprof
 //	                                # engine benchmark under the pprof
 //	                                # CPU profiler
+//	spillbench -tier                # tiered pipeline benchmark: static
+//	                                # estimate placement vs measured
+//	                                # re-placement on the hostile suite
+//	spillbench -tier -json BENCH_tiered.json
+//	                                # record it for the CI gate
+//	spillbench -tier -memprofile mem.pprof
+//	                                # heap profile of the run, tier
+//	                                # boundary recompiles included
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"runtime/pprof"
 
 	"repro/internal/bench"
@@ -54,6 +63,9 @@ func main() {
 	reps := flag.Int("reps", 3, "with -json: VM executions per benchmark per engine")
 	machines := flag.String("machines", "", "sweep these machine cost presets (comma-separated, or \"all\") and print per-machine tables plus the crossover report")
 	analysisBench := flag.Bool("analysis", false, "benchmark the analysis layer (cold vs shared vs incremental re-placement); with -json, write the record (e.g. BENCH_analysis.json)")
+	tierBench := flag.Bool("tier", false, "benchmark the tiered pipeline (static-estimate placement vs measured re-placement on the estimator-hostile suite); with -json, write the record (e.g. BENCH_tiered.json)")
+	quantum := flag.Int64("quantum", 2000, "with -tier: tier-0 step quantum before the measured re-placement")
+	memprofile := flag.String("memprofile", "", "write a pprof heap profile of the measurement run to this file")
 	flag.Parse()
 
 	eng, err := vm.ParseEngine(*engine)
@@ -84,6 +96,27 @@ func main() {
 		}()
 	}
 
+	// The heap profile is written when the chosen mode returns
+	// normally, so it captures that mode's allocations — for -tier,
+	// the tier-boundary recompiles included. Error paths os.Exit and
+	// skip it, same as -cpuprofile.
+	if *memprofile != "" {
+		defer func() {
+			f, err := os.Create(*memprofile)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "spillbench: %v\n", err)
+				return
+			}
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintf(os.Stderr, "spillbench: %v\n", err)
+			}
+			if err := f.Close(); err != nil {
+				fmt.Fprintf(os.Stderr, "spillbench: %v\n", err)
+			}
+		}()
+	}
+
 	suite := func() []bench.Entry {
 		var entries []bench.Entry
 		for _, p := range workload.SPECInt2000() {
@@ -106,6 +139,39 @@ func main() {
 			entries = filtered
 		}
 		return entries
+	}
+
+	if *tierBench {
+		n := *irgenN
+		if n <= 0 {
+			n = 12
+		}
+		rec, err := bench.BenchTiered(bench.HostileSuite(*irgenSeed, n), *quantum, *reps)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "spillbench: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("%-14s %12s %12s %8s %6s %9s %14s\n",
+			"machine", "static", "tiered", "gain", "bnds", "replaced", "instrs/s")
+		for _, m := range rec.Machines {
+			fmt.Printf("%-14s %12d %12d %7.3fx %6d %9d %14.0f\n",
+				m.Machine, m.StaticOverhead, m.TieredOverhead, m.Gain, m.Boundaries, m.Replaced, m.InstrsPerSec)
+		}
+		fmt.Printf("best gain %.3fx at quantum %d over %d hostile programs\n",
+			rec.BestGain, rec.Quantum, len(rec.Benchmarks))
+		if *jsonOut != "" {
+			data, err := rec.JSON()
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "spillbench: %v\n", err)
+				os.Exit(1)
+			}
+			if err := os.WriteFile(*jsonOut, data, 0o644); err != nil {
+				fmt.Fprintf(os.Stderr, "spillbench: %v\n", err)
+				os.Exit(1)
+			}
+			fmt.Printf("recorded in %s\n", *jsonOut)
+		}
+		return
 	}
 
 	if *analysisBench {

@@ -5,7 +5,7 @@
 //
 // Usage:
 //
-//	spillopt [-strategy hierarchical-jump] [-machine preset] [-arg N] [-print] [-compare] prog.ir
+//	spillopt [-strategy hierarchical-jump] [-machine preset] [-layout] [-arg N] [-print] [-compare] prog.ir
 package main
 
 import (
@@ -32,6 +32,7 @@ func main() {
 	dotFunc := flag.String("dot", "", "print the named function's CFG in Graphviz DOT format and exit")
 	compare := flag.Bool("compare", false, "run every strategy and compare overheads")
 	mach := flag.String("machine", "", "machine cost preset the placement optimizes and the cost column prices (e.g. classic, deep-pipeline; default: the paper's unit-cost machine)")
+	layoutF := flag.Bool("layout", false, "run profile-guided jump alignment (layout.Align) before placement, so the hottest edges fall through and the reclassified edge kinds feed the placement cost model")
 	flag.Parse()
 
 	if flag.NArg() != 1 {
@@ -47,7 +48,7 @@ func main() {
 		fmt.Printf("%-18s %10s %10s %8s %8s %8s %8s\n",
 			"strategy", "overhead", "cost", "saves", "restores", "spill", "jumps")
 		for _, name := range []string{"entry-exit", "shrinkwrap", "shrinkwrap-seed", "hierarchical-exec", "hierarchical-jump"} {
-			res, err := runOne(string(src), strategies[name], *arg, *mach)
+			res, err := runOne(string(src), strategies[name], *arg, *mach, *layoutF)
 			if err != nil {
 				fatal(fmt.Errorf("%s: %w", name, err))
 			}
@@ -61,7 +62,7 @@ func main() {
 	if !ok {
 		fatal(fmt.Errorf("unknown strategy %q", *strategy))
 	}
-	prog, err := build(string(src), s, *arg, *mach)
+	prog, err := buildOpts(string(src), s, *arg, *mach, *layoutF)
 	if err != nil {
 		fatal(err)
 	}
@@ -85,13 +86,18 @@ func main() {
 	}
 }
 
-func build(src string, s spillopt.Strategy, arg int64, mach string) (*spillopt.Program, error) {
+func buildOpts(src string, s spillopt.Strategy, arg int64, mach string, layout bool) (*spillopt.Program, error) {
 	prog, err := spillopt.ParseProgram(src)
 	if err != nil {
 		return nil, err
 	}
 	if mach != "" {
 		if err := prog.UseMachine(mach); err != nil {
+			return nil, err
+		}
+	}
+	if layout {
+		if err := prog.UseLayout(); err != nil {
 			return nil, err
 		}
 	}
@@ -107,8 +113,8 @@ func build(src string, s spillopt.Strategy, arg int64, mach string) (*spillopt.P
 	return prog, nil
 }
 
-func runOne(src string, s spillopt.Strategy, arg int64, mach string) (*spillopt.Result, error) {
-	prog, err := build(src, s, arg, mach)
+func runOne(src string, s spillopt.Strategy, arg int64, mach string, layout bool) (*spillopt.Result, error) {
+	prog, err := buildOpts(src, s, arg, mach, layout)
 	if err != nil {
 		return nil, err
 	}

@@ -78,8 +78,11 @@ func FuzzPlacement(f *testing.F) {
 // regcode engine must agree with the tree interpreter exactly —
 // result value, error text, every statistics counter, and the edge
 // profile — on the generated program raw (where an arbitrary budget
-// forces mid-quantum step-limit halts) and hierarchically placed
-// under callee-saved convention checking.
+// forces mid-quantum step-limit halts), hierarchically placed under
+// callee-saved convention checking, and through the full tiered
+// pipeline (an arbitrary quantum forces tier boundaries at arbitrary
+// points, and the recompiled tier-1 program must agree byte for byte
+// and observation for observation).
 func FuzzEngineParity(f *testing.F) {
 	for _, seed := range []uint64{0, 1, 7, 42, 1 << 33} {
 		f.Add(seed, int64(3), int64(257))
@@ -88,6 +91,10 @@ func FuzzEngineParity(f *testing.F) {
 		budget = budget&(1<<22-1) + 1
 		prog := irgen.Generate(seed, irgen.Small())
 		for _, m := range irgen.EngineParitySweep(prog, vm.EngineRegcode, []int64{arg & 1023}, []int64{budget}) {
+			t.Errorf("seed %d arg %d: %s", seed, arg, m)
+		}
+		quantum := budget/2 + 1
+		for _, m := range irgen.TierParitySweep(prog, vm.EngineRegcode, []int64{arg & 1023}, quantum, budget) {
 			t.Errorf("seed %d arg %d: %s", seed, arg, m)
 		}
 		if t.Failed() {

@@ -132,7 +132,7 @@ func CompareSweep(committed, fresh *SweepRecord, thresholdPct float64) []string 
 				findings = append(findings, fmt.Sprintf("machines: %s/%s missing from fresh sweep", cm.Name, cs.Name))
 				continue
 			}
-			where := cm.Name + "/" + cs.Name
+			where := "machines: " + cm.Name + "/" + cs.Name
 			findings = append(findings, compareCount(where, "weighted overhead", cs.WeightedOverhead, fs.WeightedOverhead, thresholdPct)...)
 			findings = append(findings, compareCount(where, "modeled cost", cs.Modeled, fs.Modeled, thresholdPct)...)
 		}
@@ -180,10 +180,10 @@ func sameSuite(a, b *SweepRecord) bool {
 func compareCount(where, what string, committed, fresh int64, thresholdPct float64) []string {
 	switch {
 	case float64(fresh) > float64(committed)*(1+thresholdPct/100):
-		return []string{fmt.Sprintf("machines: %s %s %d exceeds committed %d by more than %.0f%%",
+		return []string{fmt.Sprintf("%s %s %d exceeds committed %d by more than %.0f%%",
 			where, what, fresh, committed, thresholdPct)}
 	case float64(fresh) < float64(committed)*(1-thresholdPct/100):
-		return []string{fmt.Sprintf("machines: %s %s %d improved more than %.0f%% below committed %d — regenerate the committed record",
+		return []string{fmt.Sprintf("%s %s %d improved more than %.0f%% below committed %d — regenerate the committed record",
 			where, what, fresh, thresholdPct, committed)}
 	}
 	return nil
@@ -236,6 +236,93 @@ func CompareAnalysis(committed, fresh *AnalysisBench, thresholdPct float64) []st
 		}
 	}
 	return findings
+}
+
+// TieredGainFloor is the absolute static-over-tiered overhead ratio
+// the gate requires the best machine preset to clear: on the hostile
+// suite, measured re-placement must beat the static estimate by at
+// least this much somewhere, or the tiered pipeline has stopped
+// earning its keep.
+const TieredGainFloor = 1.05
+
+// CompareTiered diffs a fresh tiered benchmark against the committed
+// BENCH_tiered.json. The overheads are deterministic dynamic
+// instruction counts (wall times and throughput are recorded but never
+// compared), so the gate checks:
+//
+//   - same suite and quantum — the precondition for comparing at all;
+//   - per preset, static and tiered overheads within thresholdPct of
+//     the committed record in either direction (drift up is a
+//     regression, drift down a stale record silently widening the
+//     budget);
+//   - at least one preset's fresh gain clears the absolute
+//     TieredGainFloor;
+//   - tier boundaries still fire — a suite that finishes inside the
+//     quantum measures nothing.
+func CompareTiered(committed, fresh *TieredBench, thresholdPct float64) []string {
+	var findings []string
+	if committed.Quantum != fresh.Quantum || !sameStringList(committed.Benchmarks, fresh.Benchmarks) {
+		findings = append(findings, fmt.Sprintf(
+			"tiered: committed record covers %v at quantum %d, fresh run %v at quantum %d — regenerate BENCH_tiered.json with the standing suite",
+			committed.Benchmarks, committed.Quantum, fresh.Benchmarks, fresh.Quantum))
+		return findings
+	}
+	freshRows := map[string]*TieredMachineRow{}
+	for i := range fresh.Machines {
+		freshRows[fresh.Machines[i].Machine] = &fresh.Machines[i]
+	}
+	for _, cm := range committed.Machines {
+		fm := freshRows[cm.Machine]
+		if fm == nil {
+			findings = append(findings, fmt.Sprintf("tiered: preset %q missing from fresh run", cm.Machine))
+			continue
+		}
+		findings = append(findings, compareCount("tiered "+cm.Machine, "static overhead", cm.StaticOverhead, fm.StaticOverhead, thresholdPct)...)
+		findings = append(findings, compareCount("tiered "+cm.Machine, "tiered overhead", cm.TieredOverhead, fm.TieredOverhead, thresholdPct)...)
+	}
+	if fresh.BestGain < TieredGainFloor {
+		findings = append(findings, fmt.Sprintf(
+			"tiered: best preset gain %.3fx is below the %.2fx floor — measured re-placement no longer beats the static estimate",
+			fresh.BestGain, TieredGainFloor))
+	}
+	boundaries := 0
+	for _, fm := range fresh.Machines {
+		boundaries += fm.Boundaries
+	}
+	if boundaries == 0 {
+		findings = append(findings,
+			"tiered: no suite program hit a tier boundary — the quantum no longer exercises re-placement")
+	}
+	return findings
+}
+
+func sameStringList(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// InjectTieredRegression artificially inflates a fresh tiered record's
+// tiered-arm overheads by pct percent, shrinking every gain below its
+// true value, for the CI gate's self-test.
+func InjectTieredRegression(b *TieredBench, pct float64) {
+	b.BestGain = 0
+	for i := range b.Machines {
+		row := &b.Machines[i]
+		row.TieredOverhead = int64(float64(row.TieredOverhead) * (1 + pct/100))
+		if row.TieredOverhead > 0 {
+			row.Gain = float64(row.StaticOverhead) / float64(row.TieredOverhead)
+		}
+		if row.Gain > b.BestGain {
+			b.BestGain = row.Gain
+		}
+	}
 }
 
 // InjectAnalysisRegression artificially degrades a fresh analysis

@@ -1,0 +1,105 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+)
+
+// tieredSmall is the cut-down suite the unit tests measure: enough
+// hostile programs for boundaries and a real gain, small enough to
+// keep the test fast.
+func tieredSmall(t *testing.T) *TieredBench {
+	t.Helper()
+	b, err := BenchTiered(HostileSuite(0, 4), 2000, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+// TestBenchTiered: the static-vs-tiered comparison runs the hostile
+// suite over every preset, tier boundaries fire, functions are
+// re-placed, and on at least one preset the measured re-placement
+// beats the static estimate by the gate's floor.
+func TestBenchTiered(t *testing.T) {
+	b := tieredSmall(t)
+	if len(b.Machines) == 0 || len(b.Benchmarks) != 4 {
+		t.Fatalf("unexpected record shape: %d machines, %d benchmarks", len(b.Machines), len(b.Benchmarks))
+	}
+	for _, m := range b.Machines {
+		if m.StaticOverhead <= 0 || m.TieredOverhead <= 0 {
+			t.Errorf("%s: degenerate overheads %d/%d", m.Machine, m.StaticOverhead, m.TieredOverhead)
+		}
+		if m.Boundaries == 0 {
+			t.Errorf("%s: no tier boundaries at quantum %d", m.Machine, b.Quantum)
+		}
+		if m.Boundaries > 0 && m.Replaced == 0 {
+			t.Errorf("%s: boundaries fired but no function was re-placed", m.Machine)
+		}
+	}
+	if b.BestGain < TieredGainFloor {
+		t.Errorf("best gain %.4f below the %.2f floor on the hostile suite", b.BestGain, TieredGainFloor)
+	}
+}
+
+// TestBenchTieredDeterministic: overheads, gains, and boundary
+// counters are pure dynamic counts — two runs agree exactly.
+func TestBenchTieredDeterministic(t *testing.T) {
+	a, b := tieredSmall(t), tieredSmall(t)
+	for i := range a.Machines {
+		am, bm := a.Machines[i], b.Machines[i]
+		if am.StaticOverhead != bm.StaticOverhead || am.TieredOverhead != bm.TieredOverhead ||
+			am.Boundaries != bm.Boundaries || am.Replaced != bm.Replaced {
+			t.Errorf("%s: runs disagree: %+v vs %+v", am.Machine, am, bm)
+		}
+	}
+}
+
+// TestCompareTiered: self-comparison is clean; an injected regression
+// trips the gate; suite or quantum drift is its own finding.
+func TestCompareTiered(t *testing.T) {
+	b := tieredSmall(t)
+	if fs := CompareTiered(b, b, 2); len(fs) != 0 {
+		t.Fatalf("self-comparison found: %v", fs)
+	}
+
+	hurt := *b
+	hurt.Machines = append([]TieredMachineRow(nil), b.Machines...)
+	InjectTieredRegression(&hurt, 25)
+	fs := CompareTiered(b, &hurt, 2)
+	if len(fs) == 0 {
+		t.Fatal("injected 25%% tiered regression passed the gate")
+	}
+	sawOverhead := false
+	for _, f := range fs {
+		if strings.Contains(f, "tiered overhead") {
+			sawOverhead = true
+		}
+	}
+	if !sawOverhead {
+		t.Errorf("regression findings miss the overhead drift: %v", fs)
+	}
+
+	skew := *b
+	skew.Quantum = b.Quantum + 1
+	fs = CompareTiered(b, &skew, 2)
+	if len(fs) != 1 || !strings.Contains(fs[0], "regenerate BENCH_tiered.json") {
+		t.Errorf("quantum drift not reported as a suite mismatch: %v", fs)
+	}
+
+	idle := *b
+	idle.Machines = append([]TieredMachineRow(nil), b.Machines...)
+	for i := range idle.Machines {
+		idle.Machines[i].Boundaries = 0
+	}
+	fs = CompareTiered(b, &idle, 2)
+	found := false
+	for _, f := range fs {
+		if strings.Contains(f, "tier boundary") {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("boundary-free run not flagged: %v", fs)
+	}
+}

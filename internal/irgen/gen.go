@@ -69,6 +69,24 @@ type Config struct {
 	StraightLen int
 	// DriverIters is the number of main-loop iterations.
 	DriverIters int64
+
+	// Estimator-hostile shapes (see hostile.go; all default off, and a
+	// zero probability draws no randomness, so configs without them
+	// generate byte-identical programs for every existing seed).
+	//
+	// ConstGuardProb emits a structurally innocent branch that runtime
+	// resolves the same way every time, guarding a callee-saved-heavy
+	// arm; SkewedLoopProb emits two structurally identical sibling
+	// loops whose trip counts differ by an order of magnitude
+	// (2 vs SkewedTrip); DataTripProb emits a loop whose trip count is
+	// computed from the procedure argument. The static estimator
+	// weighs each of these wrongly — 50/50 branch splits and one
+	// uniform loop factor — which is exactly what the tiered
+	// measured-profile pipeline exists to correct.
+	ConstGuardProb float64
+	SkewedLoopProb float64
+	SkewedTrip     int64
+	DataTripProb   float64
 }
 
 // Default is the spillfuzz sweep configuration: large enough to hit
@@ -230,6 +248,30 @@ func (g *gen) genProc(i int) {
 
 // genSegment emits one structure into the current block chain.
 func (g *gen) genSegment(depth int) {
+	g.genStructure(depth)
+	if !g.isLib() && depth == 0 && g.rng.float() < g.cfg.EarlyRetProb {
+		g.genEarlyRet()
+	}
+}
+
+// genStructure picks and emits the segment's structure. The hostile
+// family is drawn first, but only when its knobs are set — a zero
+// probability consumes no randomness, keeping every pre-existing
+// seed's program byte-identical.
+func (g *gen) genStructure(depth int) {
+	if !g.isLib() && depth < g.cfg.MaxDepth {
+		switch {
+		case g.cfg.SkewedLoopProb > 0 && g.rng.float() < g.cfg.SkewedLoopProb:
+			g.genSkewedLoops()
+			return
+		case g.cfg.ConstGuardProb > 0 && g.rng.float() < g.cfg.ConstGuardProb:
+			g.genConstGuard()
+			return
+		case g.cfg.DataTripProb > 0 && g.rng.float() < g.cfg.DataTripProb:
+			g.genDataLoop()
+			return
+		}
+	}
 	loopProb, callProb, diamondProb := g.cfg.LoopProb, g.cfg.CallProb, g.cfg.DiamondProb
 	if g.isLib() {
 		// Leaf library: no calls (their entry counts dwarf everything
@@ -251,9 +293,6 @@ func (g *gen) genSegment(depth int) {
 		g.genCall()
 	default:
 		g.genStraight()
-	}
-	if !g.isLib() && depth == 0 && g.rng.float() < g.cfg.EarlyRetProb {
-		g.genEarlyRet()
 	}
 }
 

@@ -1,0 +1,138 @@
+package irgen
+
+import (
+	"repro/internal/ir"
+)
+
+// Hostile is the estimator-hostile configuration: programs whose
+// measured edge profiles diverge sharply from the static estimator's
+// uniform branch splits and uniform loop factor. It is the workload
+// family the tiered pipeline (internal/tier) is evaluated on — if the
+// estimator were right about these programs, measured re-placement
+// could never win.
+func Hostile() Config {
+	c := Default()
+	c.ConstGuardProb = 0.50
+	c.SkewedLoopProb = 0.45
+	c.SkewedTrip = 48
+	c.DataTripProb = 0.35
+	c.DriverIters = 5
+	return c
+}
+
+// genSkewedLoops emits two structurally identical sibling counted
+// loops whose trip counts differ by an order of magnitude (2 vs
+// SkewedTrip, in random order). The static estimator assigns both the
+// same loop factor; the measured profile knows which one carries the
+// weight, which flips where alignment chains and where save/restore
+// code belongs.
+func (g *gen) genSkewedLoops() {
+	hot := g.cfg.SkewedTrip
+	if hot < 8 {
+		hot = 48
+	}
+	trips := [2]int64{2, hot}
+	if g.rng.intn(2) == 0 {
+		trips[0], trips[1] = trips[1], trips[0]
+	}
+	for _, t := range trips {
+		g.genFixedLoop(t)
+	}
+}
+
+// genFixedLoop emits a bottom-tested counted loop with a body that
+// combines straight arithmetic with a leaf call carrying a value live
+// across it — the callee-saved pressure that makes placement care how
+// hot the loop really is.
+func (g *gen) genFixedLoop(trip int64) {
+	bu := g.bu
+	iv := bu.F.NewVirt()
+	bu.ConstInto(iv, 0)
+	header := g.block("sk")
+	exit := g.block("sx")
+	bu.Jmp(header, 0)
+	bu.SetCurrent(header)
+	g.inLoop++
+	g.genStraight()
+	g.callWithLiveWeb()
+	g.inLoop--
+	one := bu.Const(1)
+	bu.BinInto(ir.OpAdd, iv, iv, one)
+	tr := bu.Const(trip)
+	c := bu.Bin(ir.OpCmpLT, iv, tr)
+	bu.Br(c, header, exit, 0, 0)
+	bu.SetCurrent(exit)
+	bu.BinInto(ir.OpAdd, g.acc, g.acc, iv)
+}
+
+// genConstGuard emits a branch that is structurally a coin flip —
+// the estimator splits it 50/50 — but compares two constants, so at
+// run time it resolves the same way on every execution. The guarded
+// arm holds a callee-saved-heavy call web: whether spill code belongs
+// inside the arm or above it depends entirely on which way the guard
+// actually goes.
+func (g *gen) genConstGuard() {
+	bu := g.bu
+	lo := bu.Const(int64(g.rng.intn(50)))
+	hi := bu.Const(int64(100 + g.rng.intn(150)))
+	var c ir.Reg
+	if g.rng.intn(2) == 0 {
+		c = bu.Bin(ir.OpCmpLT, lo, hi) // constant true: the arm is hot
+	} else {
+		c = bu.Bin(ir.OpCmpLT, hi, lo) // constant false: the arm is dead
+	}
+	armB := g.block("hg")
+	joinB := g.block("hj")
+	bu.Br(c, armB, joinB, 0, 0)
+	bu.SetCurrent(armB)
+	g.genStraight()
+	g.callWithLiveWeb()
+	bu.Jmp(joinB, 0)
+	bu.SetCurrent(joinB)
+}
+
+// genDataLoop emits a bottom-tested loop whose trip count is computed
+// from the procedure's first parameter ((param & 31) + 2): bounded, so
+// termination holds, but invisible to any static estimate — different
+// program arguments genuinely change how hot the loop is.
+func (g *gen) genDataLoop() {
+	bu := g.bu
+	mask := bu.Const(31)
+	masked := bu.Bin(ir.OpAnd, bu.F.Params[0], mask)
+	two := bu.Const(2)
+	trip := bu.Bin(ir.OpAdd, masked, two)
+	iv := bu.F.NewVirt()
+	bu.ConstInto(iv, 0)
+	header := g.block("dt")
+	exit := g.block("dx")
+	bu.Jmp(header, 0)
+	bu.SetCurrent(header)
+	g.inLoop++
+	g.genStraight()
+	g.inLoop--
+	one := bu.Const(1)
+	bu.BinInto(ir.OpAdd, iv, iv, one)
+	c := bu.Bin(ir.OpCmpLT, iv, trip)
+	bu.Br(c, header, exit, 0, 0)
+	bu.SetCurrent(exit)
+	bu.BinInto(ir.OpXor, g.acc, g.acc, iv)
+}
+
+// callWithLiveWeb emits a leaf-library call with a value computed
+// before and used after it, forcing the web into a callee-saved
+// register. Hostile shapes are only emitted in non-library procedures
+// (genStructure gates on isLib), so a lower-indexed callee always
+// exists.
+func (g *gen) callWithLiveWeb() {
+	bu := g.bu
+	lib := g.index
+	if lib > libProcs {
+		lib = libProcs
+	}
+	callee := "p" + itoa(g.rng.intn(lib))
+	three := bu.Const(3)
+	live := bu.Bin(ir.OpMul, g.acc, three)
+	r := bu.F.NewVirt()
+	bu.Call(r, callee, g.acc)
+	bu.BinInto(ir.OpAdd, g.acc, r, live)
+}

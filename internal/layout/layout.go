@@ -14,6 +14,7 @@ import (
 	"sort"
 
 	"repro/internal/ir"
+	"repro/internal/machine"
 )
 
 // Align reorders f's blocks greedily: edges are visited hottest first,
@@ -91,6 +92,29 @@ func FallWeight(f *ir.Func) int64 {
 	for _, e := range f.Edges() {
 		if e.Kind == ir.FallThrough {
 			total += e.Weight
+		}
+	}
+	return total
+}
+
+// Cost prices a measured edge profile under a machine's control-flow
+// costs: every traversal of a jump edge at the taken-jump penalty,
+// every fall-through traversal at the (usually free) fall-through
+// cost. This is the quantity alignment minimizes, priced the same way
+// the placement cost models price jump blocks, so layout and spill
+// placement gains add on a common scale.
+func Cost(p *ir.Program, counts map[*ir.Edge]int64, c machine.Costs) int64 {
+	var total int64
+	for _, f := range p.FuncsInOrder() {
+		for _, b := range f.Blocks {
+			for _, e := range b.Succs {
+				switch e.Kind {
+				case ir.Jump:
+					total += counts[e] * c.JumpCost()
+				case ir.FallThrough:
+					total += counts[e] * c.FallCost()
+				}
+			}
 		}
 	}
 	return total

@@ -39,6 +39,42 @@ func CollectWithConfig(prog *ir.Program, cfg vm.Config, args ...int64) (*vm.Stat
 	return &m.Stats, nil
 }
 
+// CollectPartial runs the program under edge profiling for at most the
+// configured step budget and writes whatever counts were observed onto
+// the CFG — even when the run halts at the step limit. It is the
+// profiling primitive of the tiered pipeline (internal/tier): tier 0
+// runs for a bounded quantum, and the partial counts collected up to
+// the halt drive re-layout and re-placement for tier 1.
+//
+// The returned stats and value describe the (possibly truncated) run;
+// completed reports whether the program ran to the end. Unlike
+// CollectWithConfig, a step-limit halt is not an error — only other
+// execution failures are. A partial profile generally violates flow
+// conservation (the halting path's counts are cut mid-flight), so
+// callers must not expect Consistent to hold.
+func CollectPartial(prog *ir.Program, cfg vm.Config, args ...int64) (stats *vm.Stats, value int64, completed bool, err error) {
+	cfg.CollectEdges = true
+	m := vm.New(prog, cfg)
+	value, err = m.Run(args...)
+	switch {
+	case err == nil:
+		completed = true
+	case vm.IsStepLimit(err):
+		err = nil
+	default:
+		return nil, 0, false, fmt.Errorf("profile: %w", err)
+	}
+	for _, f := range prog.FuncsInOrder() {
+		f.EntryCount = m.Stats.Calls[f.Name]
+		for _, b := range f.Blocks {
+			for _, e := range b.Succs {
+				e.Weight = m.EdgeCount[e]
+			}
+		}
+	}
+	return &m.Stats, value, completed, nil
+}
+
 // Consistent checks flow conservation of the profile on every
 // function: for each non-entry, non-exit block the sum of incoming
 // edge counts equals the sum of outgoing counts, and the entry block's

@@ -35,7 +35,12 @@ func programKey(canonical string, req *PlaceRequest) string {
 	if req.Emit {
 		flags |= 2
 	}
+	if req.Tier {
+		flags |= 4
+	}
 	h.Write([]byte{0, flags})
+	binary.LittleEndian.PutUint64(buf[:], uint64(req.Quantum))
+	h.Write(buf[:])
 	// The engine never changes response bytes (the engines are
 	// parity-tested), but the key covers every request field so no two
 	// distinct requests ever alias an entry.

@@ -116,6 +116,19 @@ type Snapshot struct {
 	// EngineRuns counts run-mode requests per VM engine name, cache
 	// hits included.
 	EngineRuns map[string]int64 `json:"engine_runs"`
+	// Tier counts the tiered pipeline's activity: admitted tier
+	// requests (cache hits included), executed tiered runs, runs whose
+	// tier-0 quantum expired (a boundary re-placement happened), and
+	// functions re-placed at those boundaries.
+	Tier TierCounters `json:"tier"`
+}
+
+// TierCounters are the tiered pipeline's service counters.
+type TierCounters struct {
+	Requests   int64 `json:"requests"`
+	Runs       int64 `json:"runs"`
+	Boundaries int64 `json:"boundaries"`
+	Replaced   int64 `json:"replaced"`
 }
 
 // metrics is the server's mutable counter state.
@@ -126,6 +139,7 @@ type metrics struct {
 	cold, cached    histogram
 	wins            map[string]int64
 	engineRuns      map[string]int64
+	tier            TierCounters
 	analysisLenMax  int
 	placedFunctions int64
 }
@@ -177,6 +191,25 @@ func (m *metrics) win(strategy string) {
 func (m *metrics) engineRun(engine string) {
 	m.mu.Lock()
 	m.engineRuns[engine]++
+	m.mu.Unlock()
+}
+
+// tierAdmitted counts a tier request at admission, so cached tiered
+// responses appear in the totals alongside executed ones.
+func (m *metrics) tierAdmitted() {
+	m.mu.Lock()
+	m.tier.Requests++
+	m.mu.Unlock()
+}
+
+// tierRun records an executed tiered run and its boundary outcome.
+func (m *metrics) tierRun(boundary bool, replaced int) {
+	m.mu.Lock()
+	m.tier.Runs++
+	if boundary {
+		m.tier.Boundaries++
+	}
+	m.tier.Replaced += int64(replaced)
 	m.mu.Unlock()
 }
 

@@ -118,6 +118,18 @@ type PlaceRequest struct {
 	Engine string `json:"engine,omitempty"`
 	// Emit additionally returns the placed program's IR text.
 	Emit bool `json:"emit,omitempty"`
+	// Tier runs the tiered pipeline instead of profile-then-place: the
+	// program is placed from static estimates, tier 0 executes under a
+	// step quantum with edge profiling, and at the quantum boundary the
+	// functions are re-aligned and re-placed from the measured weights
+	// before tier 1 finishes the run. Implies Run (tiering is an
+	// execution-time optimization; Args are the execution arguments),
+	// and the response's function reports describe the final tier-1
+	// placement.
+	Tier bool `json:"tier,omitempty"`
+	// Quantum overrides the tier-0 step quantum (Tier only; 0 means the
+	// pipeline default).
+	Quantum int64 `json:"quantum,omitempty"`
 }
 
 // FunctionEntry is one function's placement report plus the content
@@ -267,16 +279,37 @@ func (s *Server) place(req *PlaceRequest) placeOutcome {
 	if req.Strategy == "" {
 		req.Strategy = "hierarchical-jump"
 	}
+	// Tiering is an execution-time optimization: it implies Run, and
+	// the normalization happens before cache keying so {tier} and
+	// {tier, run} alias one entry.
+	engineGiven := req.Engine != ""
+	if req.Tier {
+		req.Run = true
+	}
 	if req.Engine == "" {
 		req.Engine = "bytecode"
 	}
 	if _, err := vm.ParseEngine(req.Engine); err != nil {
 		return fail(http.StatusBadRequest, err)
 	}
+	if !req.Tier && req.Quantum != 0 {
+		return fail(http.StatusBadRequest, errors.New("quantum requires tier"))
+	}
 	if req.Run {
 		// Counted at admission, not execution, so cache hits show up in
-		// the per-engine totals too.
-		s.metrics.engineRun(req.Engine)
+		// the per-engine totals too. Tiered runs without an explicit
+		// engine execute on the tiered pipeline's native regcode.
+		switch {
+		case !engineGiven && req.Tier:
+			s.metrics.engineRun("regcode")
+		default:
+			s.metrics.engineRun(req.Engine)
+		}
+	}
+	if req.Tier {
+		// Counted at admission too, so cached tiered responses still
+		// show up in the tier totals.
+		s.metrics.tierAdmitted()
 	}
 	best := req.Strategy == "best"
 	var strat spillopt.Strategy
@@ -315,10 +348,20 @@ func (s *Server) place(req *PlaceRequest) placeOutcome {
 	prog.UseAnalysisCache(s.ac)
 	prog.Parallelism = s.cfg.Parallelism
 	prog.MaxSteps = s.cfg.MaxVMSteps
-	if err := prog.UseEngine(req.Engine); err != nil {
-		return fail(http.StatusBadRequest, err)
+	if engineGiven || !req.Tier {
+		// Without an explicit engine, tiered runs stay on the tiered
+		// pipeline's native regcode engine.
+		if err := prog.UseEngine(req.Engine); err != nil {
+			return fail(http.StatusBadRequest, err)
+		}
 	}
-	if err := prog.Profile(req.Args...); err != nil {
+	if req.Tier {
+		// The tiered pipeline starts from static estimates; the measured
+		// profile arrives at the tier boundary during Run.
+		if err := prog.UseTiering(req.Quantum); err != nil {
+			return fail(http.StatusInternalServerError, err)
+		}
+	} else if err := prog.Profile(req.Args...); err != nil {
 		return fail(http.StatusBadRequest, err)
 	}
 
@@ -371,8 +414,22 @@ func (s *Server) place(req *PlaceRequest) placeOutcome {
 	}
 	// Input-driven failures end at Allocate: placement or reporting
 	// errors on an allocated program are pipeline invariant violations.
+	// Under tiering Place only records the strategy; the placement
+	// itself happens inside Run at the tier boundary, so Run must
+	// precede Report for the reports to describe the final placement.
 	if err := prog.Place(strat); err != nil {
 		return fail(http.StatusInternalServerError, err)
+	}
+	var runRes *spillopt.Result
+	if req.Run {
+		res, err := prog.Run(req.Args...)
+		if err != nil {
+			return fail(http.StatusBadRequest, err)
+		}
+		runRes = res
+	}
+	if tr := prog.TierReport(); tr != nil {
+		s.metrics.tierRun(tr.Boundary, tr.Replaced)
 	}
 	reports, err := prog.Report()
 	if err != nil {
@@ -383,12 +440,8 @@ func (s *Server) place(req *PlaceRequest) placeOutcome {
 		entries[i] = FunctionEntry{Hash: hashes[i], FunctionReport: r}
 	}
 	resp := assemble(req, stratName, entries, stratCosts)
-	if req.Run {
-		res, err := prog.Run(req.Args...)
-		if err != nil {
-			return fail(http.StatusBadRequest, err)
-		}
-		resp.Run = &RunResult{Value: res.Value, Instrs: res.Instrs, Overhead: res.Overhead, Cost: res.Cost}
+	if runRes != nil {
+		resp.Run = &RunResult{Value: runRes.Value, Instrs: runRes.Instrs, Overhead: runRes.Overhead, Cost: runRes.Cost}
 	}
 	if req.Emit {
 		resp.Text = prog.Text()
@@ -513,6 +566,7 @@ func (s *Server) snapshot() Snapshot {
 	sn.Latency.Cached = m.cached.snapshot()
 	sn.StrategyWins = maps.Clone(m.wins)
 	sn.EngineRuns = maps.Clone(m.engineRuns)
+	sn.Tier = m.tier
 	sn.PlacedFunctions = m.placedFunctions
 	lenMax := m.analysisLenMax
 	m.mu.Unlock()

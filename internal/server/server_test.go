@@ -272,6 +272,70 @@ func TestRunAndEmit(t *testing.T) {
 	}
 }
 
+// TestTierPlacement: the tier option runs the tiered pipeline — the
+// response carries a measured run and per-function reports of the
+// final placement, a hostile program's tiny quantum forces a boundary
+// (visible in the tier metrics), the tiered run's value matches the
+// untiered one, and a resubmission is served from the program cache
+// without re-running while still counting as a tier request.
+func TestTierPlacement(t *testing.T) {
+	s, ts := newTestServer(t, Config{})
+	src := irtext.Print(irgen.Generate(3, irgen.Hostile()))
+	args := []int64{5}
+
+	rf, bodyRef := post(t, ts, PlaceRequest{IR: src, Args: args, Run: true})
+	if rf.StatusCode != http.StatusOK {
+		t.Fatalf("untiered status %d: %s", rf.StatusCode, bodyRef)
+	}
+	var ref PlaceResponse
+	if err := json.Unmarshal(bodyRef, &ref); err != nil {
+		t.Fatal(err)
+	}
+
+	resp, body := post(t, ts, PlaceRequest{IR: src, Args: args, Tier: true, Quantum: 500})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("tier status %d: %s", resp.StatusCode, body)
+	}
+	var r PlaceResponse
+	if err := json.Unmarshal(body, &r); err != nil {
+		t.Fatal(err)
+	}
+	if r.Run == nil || r.Run.Instrs == 0 {
+		t.Fatal("tier=true returned no measured result")
+	}
+	if ref.Run == nil || r.Run.Value != ref.Run.Value {
+		t.Errorf("tiered value %d, untiered %d", r.Run.Value, ref.Run.Value)
+	}
+	if len(r.Functions) == 0 {
+		t.Error("tiered response carries no function reports")
+	}
+	sn := s.snapshot()
+	if sn.Tier.Requests != 1 || sn.Tier.Runs != 1 {
+		t.Errorf("tier counters %+v, want 1 request / 1 run", sn.Tier)
+	}
+	if sn.Tier.Boundaries != 1 || sn.Tier.Replaced == 0 {
+		t.Errorf("quantum 500 on a hostile program must hit a boundary and re-place: %+v", sn.Tier)
+	}
+
+	resp2, body2 := post(t, ts, PlaceRequest{IR: src, Args: args, Tier: true, Quantum: 500})
+	if resp2.StatusCode != http.StatusOK || resp2.Header.Get("X-Cache") != "program" {
+		t.Fatalf("resubmission not a program-cache hit: %d %q", resp2.StatusCode, resp2.Header.Get("X-Cache"))
+	}
+	if !bytes.Equal(body, body2) {
+		t.Error("cached tiered response differs from the fresh one")
+	}
+	sn = s.snapshot()
+	if sn.Tier.Requests != 2 || sn.Tier.Runs != 1 {
+		t.Errorf("cached tier request must count as a request, not a run: %+v", sn.Tier)
+	}
+
+	// Quantum without tier is a client error.
+	resp3, _ := post(t, ts, PlaceRequest{IR: src, Args: args, Quantum: 500})
+	if resp3.StatusCode != http.StatusBadRequest {
+		t.Errorf("quantum without tier: status %d, want 400", resp3.StatusCode)
+	}
+}
+
 // TestConcurrentSubmissions hammers one server from many goroutines
 // (run under -race): mixed distinct and duplicate programs, every
 // response 200, and every duplicate byte-identical.

@@ -111,6 +111,12 @@ func (s *Stats) Merge(o *Stats) {
 	}
 }
 
+// DefaultMaxSteps is the execution budget a zero Config.MaxSteps
+// selects. Exported so budget arithmetic outside the VM (the tiered
+// pipeline splits one budget across two runs) agrees with the VM's
+// own default.
+const DefaultMaxSteps int64 = 1 << 28
+
 // Engine selects an execution engine.
 type Engine int
 
@@ -162,7 +168,7 @@ type Config struct {
 	Machine *machine.Desc
 	// HeapWords is the size of the flat heap (default 1<<16).
 	HeapWords int
-	// MaxSteps bounds execution (default 1<<28).
+	// MaxSteps bounds execution (default DefaultMaxSteps).
 	MaxSteps int64
 	// CollectEdges enables per-edge execution counting.
 	CollectEdges bool
@@ -204,7 +210,7 @@ func New(prog *ir.Program, cfg Config) *VM {
 		cfg.HeapWords = 1 << 16
 	}
 	if cfg.MaxSteps == 0 {
-		cfg.MaxSteps = 1 << 28
+		cfg.MaxSteps = DefaultMaxSteps
 	}
 	v := &VM{prog: prog, cfg: cfg}
 	// The heap is only materialized for programs that can touch it;
@@ -263,7 +269,21 @@ func usesHeap(p *ir.Program) bool {
 
 // ErrStepLimit is returned (wrapped with the function and block where
 // execution stopped) when a run exceeds Config.MaxSteps.
+//
+// Halt accounting contract (all engines, pinned by TestStepLimitStats):
+// at a step-limit halt Stats.Instrs equals Config.MaxSteps exactly —
+// the instruction that would have exceeded the budget is not counted —
+// and EdgeCount (when CollectEdges is on) reflects every edge traversal
+// up to the halt. The tiered pipeline leans on this: tier 0 runs with
+// MaxSteps set to the quantum, and the remaining tier-1 budget is
+// simply the original budget minus tier 0's Stats.Instrs.
 var ErrStepLimit = errors.New("vm: step limit exceeded")
+
+// IsStepLimit reports whether err is (or wraps) a step-limit halt.
+// Engines wrap ErrStepLimit with the function and block where execution
+// stopped; this is the test callers should use instead of matching the
+// sentinel directly.
+func IsStepLimit(err error) bool { return errors.Is(err, ErrStepLimit) }
 
 // maxCallDepth bounds recursion; beyond it the VM reports a call depth
 // error rather than exhausting the host stack.

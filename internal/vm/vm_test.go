@@ -161,6 +161,28 @@ func TestStepLimit(t *testing.T) {
 	}
 }
 
+// TestStepLimitStats pins the halt accounting contract documented on
+// ErrStepLimit: in every engine, a step-limit halt leaves Stats.Instrs
+// equal to Config.MaxSteps exactly, for any budget. The tiered
+// pipeline's budget carry-over (tier-1 budget = budget − tier-0
+// Instrs) is only exact because of this.
+func TestStepLimitStats(t *testing.T) {
+	p := fib()
+	for _, e := range Engines {
+		for _, budget := range []int64{1, 2, 7, 100, 1001} {
+			m := New(p, Config{MaxSteps: budget, CollectEdges: true, Engine: e})
+			_, err := m.Run(1 << 40)
+			if !IsStepLimit(err) {
+				t.Fatalf("%v budget %d: want step-limit halt, got %v", e, budget, err)
+			}
+			if m.Stats.Instrs != budget {
+				t.Errorf("%v budget %d: Stats.Instrs = %d, want exactly the budget",
+					e, budget, m.Stats.Instrs)
+			}
+		}
+	}
+}
+
 func TestCallDepthLimit(t *testing.T) {
 	bu := ir.NewBuilder("f", 0)
 	bu.Block("entry")

@@ -27,10 +27,12 @@ import (
 	"repro/internal/dot"
 	"repro/internal/ir"
 	"repro/internal/irtext"
+	"repro/internal/layout"
 	"repro/internal/machine"
 	"repro/internal/profile"
 	"repro/internal/regalloc"
 	"repro/internal/strategy"
+	"repro/internal/tier"
 	"repro/internal/vm"
 )
 
@@ -152,6 +154,20 @@ type Program struct {
 	// program's entries instead of everything.
 	sharedCache bool
 
+	// Tiered pipeline state (UseTiering): the quantum, the strategy
+	// Place recorded, whether the tiered Run is still pending, and the
+	// last tiered result for TierReport.
+	tiering      bool
+	tierQuantum  int64
+	tierStrategy Strategy
+	tierPending  bool
+	tierRes      *tier.Result
+
+	// useLayout/aligned: profile-guided block alignment for the
+	// untiered pipeline (UseLayout), applied lazily once.
+	useLayout bool
+	aligned   bool
+
 	profiled  bool
 	allocated bool
 	placed    bool
@@ -228,12 +244,65 @@ func (p *Program) Profile(args ...int64) error {
 	return nil
 }
 
+// UseTiering enables the two-tier profile-guided pipeline for this
+// program: Place records the strategy instead of applying it, and the
+// first Run executes tier 0 (static-estimate placement under edge
+// profiling, bounded by the quantum), re-aligns and re-places with the
+// measured weights at the tier boundary, and finishes on the tier-1
+// program — see internal/tier for the contract. quantum <= 0 selects
+// tier.DefaultQuantum. Like UseMachine it must be called before
+// Allocate, because the static-estimate weights tier 0 compiles
+// against also feed the allocator's spill heuristic.
+func (p *Program) UseTiering(quantum int64) error {
+	if p.allocated {
+		return fmt.Errorf("spillopt: UseTiering must run before Allocate")
+	}
+	p.tiering = true
+	p.tierQuantum = quantum
+	return nil
+}
+
+// UseLayout enables profile-guided jump alignment (layout.Align) in
+// the untiered pipeline: before placement every function's blocks are
+// re-chained so the hottest edges fall through, and the reclassified
+// edge kinds flow into placement and PlacementCost. Under UseTiering
+// it is a no-op — the tiered pipeline always aligns, tier 0 with the
+// static weights and tier 1 with the measured ones.
+func (p *Program) UseLayout() error {
+	if p.placed || p.tierPending {
+		return fmt.Errorf("spillopt: UseLayout must run before Place")
+	}
+	p.useLayout = true
+	return nil
+}
+
+// ensureAligned applies UseLayout's alignment exactly once, as late as
+// possible (placement or cost queries), so it sees the weights the
+// pipeline ends up with. Alignment renumbers blocks and reclassifies
+// edge kinds, so each function's memoized analyses are invalidated.
+func (p *Program) ensureAligned() {
+	if !p.useLayout || p.aligned || p.tiering {
+		return
+	}
+	for _, f := range p.prog.FuncsInOrder() {
+		layout.Align(f)
+		p.cache.Invalidate(f)
+	}
+	p.aligned = true
+}
+
 // Allocate runs the Chaitin/Briggs graph-coloring register allocator
 // on every procedure. Callee-saved save/restore code is NOT inserted;
 // call Place to choose a placement strategy.
 func (p *Program) Allocate() error {
 	if p.allocated {
 		return fmt.Errorf("spillopt: already allocated")
+	}
+	// Tier 0 compiles against static-estimate weights; synthesizing
+	// them here lets the allocator's spill heuristic read the same
+	// weights the tier-0 placement optimizes.
+	if p.tiering && !p.profiled {
+		profile.EstimateProgramMachine(p.prog, p.mach, p.cache)
 	}
 	if _, err := regalloc.AllocateProgramParallel(p.prog, p.mach, p.Parallelism); err != nil {
 		return err
@@ -257,9 +326,18 @@ func (p *Program) Place(s Strategy) error {
 	if !p.allocated {
 		return fmt.Errorf("spillopt: Allocate before Place")
 	}
-	if p.placed {
+	if p.placed || p.tierPending {
 		return fmt.Errorf("spillopt: already placed")
 	}
+	// Under tiering the placement is deferred: tier 0 places a
+	// throwaway clone with the static weights, and the real program is
+	// placed at the tier boundary with measured ones. Run drives it.
+	if p.tiering {
+		p.tierStrategy = s
+		p.tierPending = true
+		return nil
+	}
+	p.ensureAligned()
 	// Each placement reads and mutates only its own function, so the
 	// per-function pipeline (PST build, shrink-wrap seed, hierarchical
 	// traversal, validation, apply) fans out across the pool. The
@@ -365,6 +443,11 @@ func (p *Program) PlacementCost(funcName string, s Strategy) (int64, error) {
 	if !p.allocated && len(f.UsedCalleeSaved) == 0 {
 		return 0, fmt.Errorf("spillopt: %s not allocated", funcName)
 	}
+	if p.allocated {
+		// UseLayout reclassifies edge kinds; the jump edge cost model
+		// must price the aligned layout, not the parse-order one.
+		p.ensureAligned()
+	}
 	sets, err := strategy.ComputeCachedFor(f, computeStrategy(s), p.cache.For(f), p.mach)
 	if err != nil {
 		return 0, err
@@ -443,8 +526,13 @@ func (p *Program) Report() ([]FunctionReport, error) {
 
 // Run executes the program under callee-saved convention enforcement
 // and returns the measured result. It requires placement to have run
-// (or no procedure to use callee-saved registers).
+// (or no procedure to use callee-saved registers). Under UseTiering
+// the first Run executes the full tiered pipeline and leaves the
+// program placed; later Runs execute the tier-1 program directly.
 func (p *Program) Run(args ...int64) (*Result, error) {
+	if p.tierPending {
+		return p.runTiered(args)
+	}
 	m := vm.New(p.prog, vm.Config{Machine: p.mach, Engine: p.engine(), MaxSteps: p.MaxSteps})
 	v, err := m.Run(args...)
 	if err != nil {
@@ -462,6 +550,86 @@ func (p *Program) Run(args ...int64) (*Result, error) {
 		Restores:       st.Restores,
 		JumpBlockJumps: st.JumpBlockJmps,
 	}, nil
+}
+
+// runTiered executes the deferred tiered pipeline: tier 0 on a
+// statically placed clone under edge profiling, re-align + re-place
+// with the measured weights at the boundary, tier 1 on the result with
+// the remaining budget. The merged two-tier counters become the
+// Result; TierReport exposes the boundary details.
+func (p *Program) runTiered(args []int64) (*Result, error) {
+	res, err := tier.Run(p.prog, tier.Config{
+		Machine:     p.mach,
+		Strategy:    computeStrategy(p.tierStrategy),
+		Quantum:     p.tierQuantum,
+		MaxSteps:    p.MaxSteps,
+		Parallelism: p.Parallelism,
+		Cache:       p.cache,
+		Engine:      p.tierEngine(),
+	}, args...)
+	if res != nil {
+		// Even on a step-limit halt the program was re-placed; the
+		// pipeline state must reflect the mutation.
+		p.tierRes = res
+		p.tierPending = false
+		p.placed = true
+	}
+	if err != nil {
+		return nil, err
+	}
+	st := res.Stats
+	return &Result{
+		Value:          res.Value,
+		Instrs:         st.Instrs,
+		Overhead:       st.Overhead(),
+		Cost:           st.WeightedOverhead(p.mach.Costs),
+		SpillLoads:     st.SpillLoads,
+		SpillStores:    st.SpillStores,
+		Saves:          st.Saves,
+		Restores:       st.Restores,
+		JumpBlockJumps: st.JumpBlockJmps,
+	}, nil
+}
+
+// tierEngine is the engine tiered runs execute on: an explicit
+// UseEngine/UseLegacyVM choice wins; otherwise the tiered pipeline's
+// native engine, regcode, whose fast path counts edges so tier-0
+// profiling costs no engine downgrade.
+func (p *Program) tierEngine() vm.Engine {
+	if p.engSet {
+		return p.eng
+	}
+	if p.UseLegacyVM {
+		return vm.EngineTree
+	}
+	return vm.EngineRegcode
+}
+
+// TierReport describes the last tiered Run: whether the quantum
+// expired (a tier boundary happened), how many functions the
+// measured-weight alignment reordered, how many were re-placed, and
+// the per-tier instruction counts. Nil before the tiered Run.
+type TierReport struct {
+	Boundary    bool  `json:"boundary"`
+	Realigned   int   `json:"realigned"`
+	Replaced    int   `json:"replaced"`
+	Tier0Instrs int64 `json:"tier0_instrs"`
+	Tier1Instrs int64 `json:"tier1_instrs"`
+}
+
+// TierReport returns the last tiered Run's boundary details, or nil if
+// no tiered Run happened.
+func (p *Program) TierReport() *TierReport {
+	if p.tierRes == nil {
+		return nil
+	}
+	return &TierReport{
+		Boundary:    p.tierRes.Boundary,
+		Realigned:   p.tierRes.Realigned,
+		Replaced:    p.tierRes.Replaced,
+		Tier0Instrs: p.tierRes.Tier0.Instrs,
+		Tier1Instrs: p.tierRes.Tier1.Instrs,
+	}
 }
 
 // Text renders the program in the textual IR format, including any
@@ -530,16 +698,22 @@ func (p *Program) engine() vm.Engine {
 // from the same allocation.
 func (p *Program) Clone() *Program {
 	return &Program{
-		prog:        p.prog.Clone(),
-		mach:        p.mach,
-		cache:       analysis.NewCache(),
-		Parallelism: p.Parallelism,
-		UseLegacyVM: p.UseLegacyVM,
-		eng:         p.eng,
-		engSet:      p.engSet,
-		MaxSteps:    p.MaxSteps,
-		profiled:    p.profiled,
-		allocated:   p.allocated,
-		placed:      p.placed,
+		prog:         p.prog.Clone(),
+		mach:         p.mach,
+		cache:        analysis.NewCache(),
+		Parallelism:  p.Parallelism,
+		UseLegacyVM:  p.UseLegacyVM,
+		eng:          p.eng,
+		engSet:       p.engSet,
+		MaxSteps:     p.MaxSteps,
+		tiering:      p.tiering,
+		tierQuantum:  p.tierQuantum,
+		tierStrategy: p.tierStrategy,
+		tierPending:  p.tierPending,
+		useLayout:    p.useLayout,
+		aligned:      p.aligned,
+		profiled:     p.profiled,
+		allocated:    p.allocated,
+		placed:       p.placed,
 	}
 }
