@@ -9,7 +9,7 @@
 // Usage:
 //
 //	irrun [-arg N] [-profile] [-check] [-engine bytecode|regcode|tree] prog.ir
-//	irrun -tier [-quantum N] [-arg N] prog.ir
+//	irrun -tier [-quantum N] [-machine preset] [-alloc-machine] [-arg N] prog.ir
 package main
 
 import (
@@ -32,6 +32,8 @@ func main() {
 	engine := flag.String("engine", "bytecode", "execution engine: bytecode, regcode, or tree (the legacy reference)")
 	tierF := flag.Bool("tier", false, "run the tiered pipeline: estimate, allocate, profile tier 0 for -quantum steps, re-place from the measured weights, finish on tier 1")
 	quantum := flag.Int64("quantum", 0, "with -tier: tier-0 step quantum (0 = the pipeline default)")
+	mach := flag.String("machine", "", "with -tier: machine cost preset the pipeline optimizes (default: the paper's unit-cost machine)")
+	allocMachine := flag.Bool("alloc-machine", false, "with -tier: price the allocator's spill choices with the machine's cost surface (UseMachineAllocation)")
 	flag.Parse()
 
 	eng, err := vm.ParseEngine(*engine)
@@ -49,8 +51,11 @@ func main() {
 	}
 
 	if *tierF {
-		runTiered(string(src), *arg, *quantum, *engine)
+		runTiered(string(src), *arg, *quantum, *engine, *mach, *allocMachine)
 		return
+	}
+	if *mach != "" || *allocMachine {
+		fatal(fmt.Errorf("-machine and -alloc-machine shape the compile pipeline and require -tier (the untiered path executes the program as written)"))
 	}
 
 	prog, err := irtext.Parse(string(src))
@@ -103,10 +108,20 @@ func main() {
 // program and reports the merged statistics plus the tier boundary
 // details. The engine flag is honored only when given explicitly, so
 // the pipeline's native regcode tier-1 engine stays the default.
-func runTiered(src string, arg, quantum int64, engine string) {
+func runTiered(src string, arg, quantum int64, engine, mach string, allocMachine bool) {
 	p, err := spillopt.ParseProgram(src)
 	if err != nil {
 		fatal(err)
+	}
+	if mach != "" {
+		if err := p.UseMachine(mach); err != nil {
+			fatal(err)
+		}
+	}
+	if allocMachine {
+		if err := p.UseMachineAllocation(); err != nil {
+			fatal(err)
+		}
 	}
 	engineSet := false
 	flag.Visit(func(f *flag.Flag) {

@@ -33,6 +33,13 @@
 //	spillbench -tier -memprofile mem.pprof
 //	                                # heap profile of the run, tier
 //	                                # boundary recompiles included
+//	spillbench -crossover           # crossover suite: uniform vs
+//	                                # machine-priced allocation per
+//	                                # preset, winner flips reported
+//	spillbench -crossover -json BENCH_crossover.json
+//	                                # record it for the CI gate
+//	spillbench -alloc-machine       # price the allocator's spill
+//	                                # choices with the machine preset
 package main
 
 import (
@@ -66,6 +73,8 @@ func main() {
 	tierBench := flag.Bool("tier", false, "benchmark the tiered pipeline (static-estimate placement vs measured re-placement on the estimator-hostile suite); with -json, write the record (e.g. BENCH_tiered.json)")
 	quantum := flag.Int64("quantum", 2000, "with -tier: tier-0 step quantum before the measured re-placement")
 	memprofile := flag.String("memprofile", "", "write a pprof heap profile of the measurement run to this file")
+	crossover := flag.Bool("crossover", false, "run the crossover suite (irgen.Crossover seeds) per preset under both allocation modes and report winner flips; with -json, write the record (e.g. BENCH_crossover.json)")
+	allocMachine := flag.Bool("alloc-machine", false, "price the allocator's spill choices with the machine's cost surface instead of uniform weights (single-preset sweeps and the default tables)")
 	flag.Parse()
 
 	eng, err := vm.ParseEngine(*engine)
@@ -141,6 +150,44 @@ func main() {
 		return entries
 	}
 
+	if *crossover {
+		n := *irgenN
+		if n <= 0 {
+			n = 10
+		}
+		rec, err := bench.RunCrossover(bench.CrossoverSuite(*irgenSeed, n), machine.Presets(),
+			bench.Options{Parallelism: *jobs, Engine: eng})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "spillbench: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("%-14s %-14s %-22s %-22s %s\n", "benchmark", "machine", "uniform best", "machine best", "winner")
+		for _, b := range rec.Benches {
+			for _, row := range b.Presets {
+				fmt.Printf("%-14s %-14s %-13s %8d %-13s %8d %s/%s\n",
+					b.Name, row.Machine, row.UniformBest, row.UniformOverhead,
+					row.MachineBest, row.MachineOverhead, row.WinnerAlloc, row.WinnerStrategy)
+			}
+			if b.StrategyFlip || b.AllocFlip {
+				fmt.Printf("%-14s winner flips across presets (strategy=%v alloc=%v)\n", b.Name, b.StrategyFlip, b.AllocFlip)
+			}
+		}
+		fmt.Printf("%d of %d benchmarks flip their winner across presets\n", rec.Flips, len(rec.Benches))
+		if *jsonOut != "" {
+			data, err := rec.JSON()
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "spillbench: %v\n", err)
+				os.Exit(1)
+			}
+			if err := os.WriteFile(*jsonOut, data, 0o644); err != nil {
+				fmt.Fprintf(os.Stderr, "spillbench: %v\n", err)
+				os.Exit(1)
+			}
+			fmt.Printf("recorded in %s\n", *jsonOut)
+		}
+		return
+	}
+
 	if *tierBench {
 		n := *irgenN
 		if n <= 0 {
@@ -211,7 +258,7 @@ func main() {
 			os.Exit(2)
 		}
 		entries := suite()
-		sw, err := bench.RunSweep(entries, descs, bench.Options{Align: *align, Parallelism: *jobs, Engine: eng})
+		sw, err := bench.RunSweep(entries, descs, bench.Options{Align: *align, Parallelism: *jobs, Engine: eng, MachineAlloc: *allocMachine})
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "spillbench: %v\n", err)
 			os.Exit(1)
@@ -258,7 +305,7 @@ func main() {
 		return
 	}
 
-	results, err := bench.RunEntries(suite(), bench.Options{Align: *align, Parallelism: *jobs, Engine: eng, Unshared: *unshared})
+	results, err := bench.RunEntries(suite(), bench.Options{Align: *align, Parallelism: *jobs, Engine: eng, Unshared: *unshared, MachineAlloc: *allocMachine})
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "spillbench: %v\n", err)
 		os.Exit(1)

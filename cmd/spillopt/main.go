@@ -5,7 +5,7 @@
 //
 // Usage:
 //
-//	spillopt [-strategy hierarchical-jump] [-machine preset] [-layout] [-arg N] [-print] [-compare] prog.ir
+//	spillopt [-strategy hierarchical-jump] [-machine preset] [-alloc-machine] [-layout] [-arg N] [-print] [-compare] prog.ir
 package main
 
 import (
@@ -33,6 +33,7 @@ func main() {
 	compare := flag.Bool("compare", false, "run every strategy and compare overheads")
 	mach := flag.String("machine", "", "machine cost preset the placement optimizes and the cost column prices (e.g. classic, deep-pipeline; default: the paper's unit-cost machine)")
 	layoutF := flag.Bool("layout", false, "run profile-guided jump alignment (layout.Align) before placement, so the hottest edges fall through and the reclassified edge kinds feed the placement cost model")
+	allocMachine := flag.Bool("alloc-machine", false, "price the allocator's spill choices with the machine's cost surface (UseMachineAllocation) instead of uniform weights")
 	flag.Parse()
 
 	if flag.NArg() != 1 {
@@ -48,7 +49,7 @@ func main() {
 		fmt.Printf("%-18s %10s %10s %8s %8s %8s %8s\n",
 			"strategy", "overhead", "cost", "saves", "restores", "spill", "jumps")
 		for _, name := range []string{"entry-exit", "shrinkwrap", "shrinkwrap-seed", "hierarchical-exec", "hierarchical-jump"} {
-			res, err := runOne(string(src), strategies[name], *arg, *mach, *layoutF)
+			res, err := runOne(string(src), strategies[name], *arg, *mach, *layoutF, *allocMachine)
 			if err != nil {
 				fatal(fmt.Errorf("%s: %w", name, err))
 			}
@@ -62,7 +63,7 @@ func main() {
 	if !ok {
 		fatal(fmt.Errorf("unknown strategy %q", *strategy))
 	}
-	prog, err := buildOpts(string(src), s, *arg, *mach, *layoutF)
+	prog, err := buildOpts(string(src), s, *arg, *mach, *layoutF, *allocMachine)
 	if err != nil {
 		fatal(err)
 	}
@@ -86,13 +87,18 @@ func main() {
 	}
 }
 
-func buildOpts(src string, s spillopt.Strategy, arg int64, mach string, layout bool) (*spillopt.Program, error) {
+func buildOpts(src string, s spillopt.Strategy, arg int64, mach string, layout, allocMachine bool) (*spillopt.Program, error) {
 	prog, err := spillopt.ParseProgram(src)
 	if err != nil {
 		return nil, err
 	}
 	if mach != "" {
 		if err := prog.UseMachine(mach); err != nil {
+			return nil, err
+		}
+	}
+	if allocMachine {
+		if err := prog.UseMachineAllocation(); err != nil {
 			return nil, err
 		}
 	}
@@ -113,8 +119,8 @@ func buildOpts(src string, s spillopt.Strategy, arg int64, mach string, layout b
 	return prog, nil
 }
 
-func runOne(src string, s spillopt.Strategy, arg int64, mach string, layout bool) (*spillopt.Result, error) {
-	prog, err := buildOpts(src, s, arg, mach, layout)
+func runOne(src string, s spillopt.Strategy, arg int64, mach string, layout, allocMachine bool) (*spillopt.Result, error) {
+	prog, err := buildOpts(src, s, arg, mach, layout, allocMachine)
 	if err != nil {
 		return nil, err
 	}

@@ -154,6 +154,12 @@ type Options struct {
 	// example spilltune's per-trial loop) can accumulate the sharing
 	// counters across runs in one place. Ignored when Unshared is set.
 	Cache *analysis.Cache
+	// MachineAlloc prices the allocator's spill choices with the
+	// machine's cost surface (regalloc.Options.MachineCosts). In
+	// RunSweep it requires a single-machine sweep, because the
+	// allocation then depends on the preset; RunCrossover compares it
+	// against the uniform allocation preset by preset.
+	MachineAlloc bool
 }
 
 // Entry is one measurable program: a name for the reports and a
@@ -216,7 +222,7 @@ func RunEntry(e Entry, opts Options) (*Result, error) {
 
 	// One register allocation shared by all strategies; functions are
 	// independent, so allocation fans out per function.
-	allocRes, err := regalloc.AllocateProgramParallel(prog, mach, opts.Parallelism)
+	allocRes, err := regalloc.AllocateProgramOpts(prog, mach, opts.Parallelism, regalloc.Options{MachineCosts: opts.MachineAlloc})
 	if err != nil {
 		return nil, fmt.Errorf("bench %s: regalloc: %w", e.Name, err)
 	}

@@ -1,0 +1,134 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/machine"
+)
+
+// smallCrossover runs a three-seed crossover comparison — enough to
+// exercise every preset and both allocation modes without the standing
+// suite's cost.
+func smallCrossover(t *testing.T, parallelism int) *CrossoverRecord {
+	t.Helper()
+	rec, err := RunCrossover(CrossoverSuite(1, 3), machine.Presets(), Options{Parallelism: parallelism})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rec
+}
+
+// TestCrossoverDeterministic: the record is a deterministic function
+// of the suite — same seeds, any parallelism, same bytes (the date
+// field is stamped per run, so compare with it normalized).
+func TestCrossoverDeterministic(t *testing.T) {
+	a := smallCrossover(t, 1)
+	b := smallCrossover(t, 4)
+	a.Date, b.Date = "", ""
+	aj, err := a.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	bj, err := b.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(aj) != string(bj) {
+		t.Fatalf("crossover record differs across parallelism:\n%s\nvs\n%s", aj, bj)
+	}
+}
+
+// TestCrossoverGatePassesOnIdentical: self-comparison is clean as long
+// as the record still demonstrates at least one flip.
+func TestCrossoverGatePassesOnIdentical(t *testing.T) {
+	rec := smallCrossover(t, 0)
+	if rec.Flips < 1 {
+		t.Fatalf("three-seed crossover suite shows no flips; family lost its reason to exist")
+	}
+	if findings := CompareCrossover(rec, rec, 15); len(findings) != 0 {
+		t.Fatalf("self-comparison produced findings: %v", findings)
+	}
+}
+
+// TestCrossoverGateCatchesInjected: a 20%% injected degradation must
+// trip a 15%% gate — the CI self-test step relies on this.
+func TestCrossoverGateCatchesInjected(t *testing.T) {
+	committed := smallCrossover(t, 0)
+	fresh := smallCrossover(t, 0)
+	InjectCrossoverRegression(fresh, 20)
+	if findings := CompareCrossover(committed, fresh, 15); len(findings) == 0 {
+		t.Fatal("gate passed an injected 20% crossover regression")
+	}
+}
+
+// TestCrossoverGateCatchesFlipLoss: a fresh run in which no benchmark
+// flips its winner anymore is a finding even if every overhead is
+// within tolerance — the suite exists to demonstrate machine
+// dependence.
+func TestCrossoverGateCatchesFlipLoss(t *testing.T) {
+	committed := smallCrossover(t, 0)
+	fresh := smallCrossover(t, 0)
+	fresh.Flips = 0
+	found := false
+	for _, f := range CompareCrossover(committed, fresh, 15) {
+		if strings.Contains(f, "flip") || strings.Contains(f, "machine dependence") {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("gate passed a crossover run with zero winner flips")
+	}
+}
+
+// TestCrossoverGateCatchesSuiteMismatch: records over different suites
+// cannot be compared; the finding must say so.
+func TestCrossoverGateCatchesSuiteMismatch(t *testing.T) {
+	committed := smallCrossover(t, 0)
+	fresh := smallCrossover(t, 0)
+	fresh.Benchmarks = append(fresh.Benchmarks, "crossover-99")
+	findings := CompareCrossover(committed, fresh, 15)
+	if len(findings) != 1 || !strings.Contains(findings[0], "suite") {
+		t.Fatalf("want a single suite-mismatch finding, got %v", findings)
+	}
+}
+
+// TestStandingCrossoverFlips: the standing configuration behind the
+// committed BENCH_crossover.json must demonstrate at least one
+// preset-dependent winner flip. (ISSUE 10 acceptance criterion.)
+func TestStandingCrossoverFlips(t *testing.T) {
+	if testing.Short() {
+		t.Skip("standing crossover suite in -short mode")
+	}
+	rec, err := StandingCrossover(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.Flips < 1 {
+		t.Fatal("standing crossover suite shows no preset-dependent winner flip")
+	}
+	// Winner flips must be real disagreements between concrete presets,
+	// visible in the rows themselves, not just the summary bit.
+	for _, b := range rec.Benches {
+		if !b.AllocFlip && !b.StrategyFlip {
+			continue
+		}
+		distinct := map[string]bool{}
+		for _, row := range b.Presets {
+			distinct[row.WinnerAlloc+"/"+row.WinnerStrategy] = true
+		}
+		if len(distinct) < 2 {
+			t.Errorf("%s: flip flagged but every preset agrees on the winner", b.Name)
+		}
+	}
+}
+
+// TestRunSweepRejectsMultiMachineMachineAlloc: machine-priced
+// allocation is per-preset by definition, so a shared-allocation sweep
+// across several presets must refuse it loudly.
+func TestRunSweepRejectsMultiMachineMachineAlloc(t *testing.T) {
+	_, err := RunSweep(CrossoverSuite(1, 1), machine.Presets(), Options{MachineAlloc: true})
+	if err == nil || !strings.Contains(err.Error(), "single-machine") {
+		t.Fatalf("multi-machine MachineAlloc sweep: err = %v, want single-machine refusal", err)
+	}
+}

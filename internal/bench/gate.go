@@ -137,6 +137,21 @@ func CompareSweep(committed, fresh *SweepRecord, thresholdPct float64) []string 
 			findings = append(findings, compareCount(where, "modeled cost", cs.Modeled, fs.Modeled, thresholdPct)...)
 		}
 	}
+	// Per-benchmark winners are deterministic; when the committed
+	// record carries them (older records predate the field), the fresh
+	// sweep must reproduce each benchmark's per-preset winner exactly.
+	if len(committed.BenchWinners) > 0 && len(fresh.BenchWinners) == len(committed.BenchWinners) {
+		for i, cb := range committed.BenchWinners {
+			fb := fresh.BenchWinners[i]
+			for preset, cw := range cb.Winners {
+				if fw := fb.Winners[preset]; fw != cw {
+					findings = append(findings, fmt.Sprintf(
+						"machines: %s winner under %s moved from %s to %s — regenerate BENCH_machines.json if intentional",
+						cb.Name, preset, cw, fw))
+				}
+			}
+		}
+	}
 	// The sharing guarantee: a sweep over N machines must not build any
 	// analysis more than once per function.
 	if n := fresh.Functions; n > 0 {
@@ -352,6 +367,88 @@ func InjectSweepRegression(r *SweepRecord, pct float64) {
 		for si := range r.Machines[mi].Strategies {
 			s := &r.Machines[mi].Strategies[si]
 			s.WeightedOverhead = int64(float64(s.WeightedOverhead) * (1 + pct/100))
+		}
+	}
+}
+
+// CompareCrossover diffs a fresh crossover run against the committed
+// BENCH_crossover.json. Every overhead is a deterministic dynamic
+// count, so the gate checks:
+//
+//   - same benchmark suite and preset list — the precondition for
+//     comparing at all;
+//   - per benchmark and preset, each allocation mode's best overhead
+//     within thresholdPct of the committed record in either direction
+//     (up is a regression, down a stale record);
+//   - each (benchmark, preset) winner — allocation mode and strategy —
+//     unchanged, since winners are deterministic;
+//   - at least one fresh benchmark still flips its winner between two
+//     presets: the measured crossover the suite exists to demonstrate.
+func CompareCrossover(committed, fresh *CrossoverRecord, thresholdPct float64) []string {
+	var findings []string
+	if !sameStringList(committed.Benchmarks, fresh.Benchmarks) || !sameStringList(committed.Machines, fresh.Machines) {
+		findings = append(findings, fmt.Sprintf(
+			"crossover: committed record covers %v over %v, fresh run %v over %v — regenerate BENCH_crossover.json with the standing suite",
+			committed.Benchmarks, committed.Machines, fresh.Benchmarks, fresh.Machines))
+		return findings
+	}
+	for i, cb := range committed.Benches {
+		if i >= len(fresh.Benches) {
+			findings = append(findings, fmt.Sprintf("crossover: benchmark %q missing from fresh run", cb.Name))
+			continue
+		}
+		fb := fresh.Benches[i]
+		for j, cr := range cb.Presets {
+			if j >= len(fb.Presets) {
+				findings = append(findings, fmt.Sprintf("crossover: %s@%s missing from fresh run", cb.Name, cr.Machine))
+				continue
+			}
+			fr := fb.Presets[j]
+			where := "crossover: " + cb.Name + "@" + cr.Machine
+			findings = append(findings, compareCount(where, "uniform-alloc best overhead", cr.UniformOverhead, fr.UniformOverhead, thresholdPct)...)
+			findings = append(findings, compareCount(where, "machine-alloc best overhead", cr.MachineOverhead, fr.MachineOverhead, thresholdPct)...)
+			if fr.WinnerAlloc != cr.WinnerAlloc || fr.WinnerStrategy != cr.WinnerStrategy {
+				findings = append(findings, fmt.Sprintf(
+					"%s winner moved from %s/%s to %s/%s — regenerate BENCH_crossover.json if intentional",
+					where, cr.WinnerAlloc, cr.WinnerStrategy, fr.WinnerAlloc, fr.WinnerStrategy))
+			}
+		}
+	}
+	if fresh.Flips < 1 {
+		findings = append(findings,
+			"crossover: no benchmark flips its winning strategy or allocation mode across presets — the crossover family stopped demonstrating machine dependence")
+	}
+	return findings
+}
+
+// InjectCrossoverRegression artificially inflates a fresh crossover
+// record's machine-alloc overheads by pct percent and recomputes the
+// winners and flip count, for the CI gate's self-test: the inflated
+// overheads drift past the threshold and the recomputed winners erase
+// the allocation-mode flips.
+func InjectCrossoverRegression(r *CrossoverRecord, pct float64) {
+	r.Flips = 0
+	for bi := range r.Benches {
+		b := &r.Benches[bi]
+		b.StrategyFlip, b.AllocFlip = false, false
+		for pi := range b.Presets {
+			row := &b.Presets[pi]
+			row.MachineOverhead = int64(float64(row.MachineOverhead) * (1 + pct/100))
+			for si := range row.Strategies {
+				row.Strategies[si].Machine = int64(float64(row.Strategies[si].Machine) * (1 + pct/100))
+			}
+			row.WinnerAlloc, row.WinnerStrategy = crossoverWinner(row)
+		}
+		for _, row := range b.Presets[1:] {
+			if row.WinnerStrategy != b.Presets[0].WinnerStrategy {
+				b.StrategyFlip = true
+			}
+			if row.WinnerAlloc != b.Presets[0].WinnerAlloc {
+				b.AllocFlip = true
+			}
+		}
+		if b.StrategyFlip || b.AllocFlip {
+			r.Flips++
 		}
 	}
 }

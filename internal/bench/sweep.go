@@ -47,6 +47,19 @@ type SweepBench struct {
 	ReturnValue int64
 }
 
+// Winner returns the benchmark's winning strategy under machine mi:
+// the lowest measured weighted overhead, ties to the earlier strategy
+// in declaration order (the simpler technique).
+func (r *SweepBench) Winner(mi int) Strategy {
+	w := Baseline
+	for _, s := range Strategies {
+		if r.Cells[mi][s].WeightedOverhead < r.Cells[mi][w].WeightedOverhead {
+			w = s
+		}
+	}
+	return w
+}
+
 // Sweep is the outcome of a multi-machine evaluation.
 type Sweep struct {
 	// Machines are the swept descriptions, in input order.
@@ -115,6 +128,12 @@ func RunSweep(entries []Entry, machines []*machine.Desc, opts Options) (*Sweep, 
 	if !machine.SameRegisterFile(machines) {
 		return nil, fmt.Errorf("bench: swept machines must share a register file")
 	}
+	if opts.MachineAlloc && len(machines) > 1 {
+		// Machine-priced allocation specializes the allocation to one
+		// cost surface, which breaks the sweep's shared-allocation
+		// premise. RunCrossover sweeps one preset at a time instead.
+		return nil, fmt.Errorf("bench: MachineAlloc requires a single-machine sweep")
+	}
 	sw := &Sweep{Machines: machines, Results: make([]*SweepBench, len(entries))}
 	builds := make([]analysis.Counts, len(entries))
 	funcs := make([]int, len(entries))
@@ -156,7 +175,7 @@ func runSweepEntry(e Entry, machines []*machine.Desc, opts Options) (*SweepBench
 	if err := profile.Consistent(prog); err != nil {
 		return nil, analysis.Counts{}, 0, fmt.Errorf("sweep %s: %w", e.Name, err)
 	}
-	if _, err := regalloc.AllocateProgramParallel(prog, machines[0], opts.Parallelism); err != nil {
+	if _, err := regalloc.AllocateProgramOpts(prog, machines[0], opts.Parallelism, regalloc.Options{MachineCosts: opts.MachineAlloc}); err != nil {
 		return nil, analysis.Counts{}, 0, fmt.Errorf("sweep %s: regalloc: %w", e.Name, err)
 	}
 
@@ -297,6 +316,22 @@ type SweepRecord struct {
 	Functions  int                  `json:"functions"`
 	Builds     analysis.Counts      `json:"analysis_builds"`
 	Machines   []SweepMachineRecord `json:"machines"`
+	// BenchWinners records each benchmark's winning strategy per
+	// preset and whether that winner flips anywhere across presets —
+	// the per-benchmark view the suite totals above average away.
+	BenchWinners []SweepBenchRecord `json:"benchmark_winners,omitempty"`
+}
+
+// SweepBenchRecord is one benchmark's per-preset winners.
+type SweepBenchRecord struct {
+	Name string `json:"name"`
+	// Winners maps preset name to the winning strategy on this
+	// benchmark (lowest measured weighted overhead, ties to the
+	// simpler technique).
+	Winners map[string]string `json:"winners"`
+	// Flips is true when the winner is not the same strategy under
+	// every preset.
+	Flips bool `json:"winner_flips"`
 }
 
 // Record flattens the sweep into its serialized form.
@@ -310,6 +345,16 @@ func (sw *Sweep) Record(suiteName string) *SweepRecord {
 	}
 	for _, r := range sw.Results {
 		rec.Benchmarks = append(rec.Benchmarks, r.Name)
+		br := SweepBenchRecord{Name: r.Name, Winners: make(map[string]string, len(sw.Machines))}
+		first := r.Winner(0)
+		for mi, d := range sw.Machines {
+			w := r.Winner(mi)
+			br.Winners[d.Name] = w.String()
+			if w != first {
+				br.Flips = true
+			}
+		}
+		rec.BenchWinners = append(rec.BenchWinners, br)
 	}
 	for _, t := range sw.MachineTotals() {
 		mr := SweepMachineRecord{

@@ -1,0 +1,176 @@
+package irgen
+
+import (
+	"repro/internal/ir"
+)
+
+// Crossover is the machine-crossover configuration: programs where the
+// best placement strategy or the best spill choice depends on which
+// machine preset is paying for it. The hostile family (hostile.go)
+// defeats the static estimator; this family defeats any single cost
+// model — register-pressure plateaus whose cheapest spill flips with
+// the store:load latency ratio, deep cold diamonds feeding hot back
+// edges, and loop nests where the profitable placement splits a
+// fall-through. It is the workload family machine-aware allocation
+// (regalloc.Options.MachineCosts) and the BENCH_crossover gate are
+// evaluated on.
+func Crossover() Config {
+	c := Default()
+	c.PressureProb = 0.50
+	c.PressureWidth = 11
+	c.ColdDiamondProb = 0.35
+	c.FallSplitProb = 0.35
+	c.DriverIters = 4
+	return c
+}
+
+// genPressure emits a register-pressure plateau across a call,
+// engineered so exactly one web must spill and the uniform-cheapest
+// web differs from the machine-cheapest web whenever spill stores and
+// loads have different latencies.
+//
+// Two candidates with mirrored def/use mixes share the lowest uniform
+// cost: y is defined once and used three times, x is defined three
+// times (the first two dead) and used once. Both carry weight 4W
+// under uniform pricing, and their interference degrees are equal by
+// construction, so the allocator's strict-< tie-break spills y (the
+// lower-numbered virtual). Under machine pricing the spill bills
+// diverge: spilling x executes three stores and one load, spilling y
+// one store and three loads — so any preset with StoreCost < LoadCost
+// (deep-pipeline's 2:3, slow-memory's 8:10) prefers to spill x, while
+// unit-ratio presets reproduce the uniform choice exactly. The
+// PressureWidth filler webs (each costing 5W, never cheapest) fill
+// the callee-saved file: width 11 + x + y + acc = 14 crossing webs
+// against 13 callee-saved registers forces the single spill.
+func (g *gen) genPressure() {
+	bu := g.bu
+	width := g.cfg.PressureWidth
+	if width < 1 {
+		width = 11
+	}
+	// y first: the lower virtual number wins the uniform tie-break.
+	y := bu.F.NewVirt()
+	bu.Mov(y, g.acc)
+	x := bu.F.NewVirt()
+	bu.Mov(x, g.acc)
+	bu.Mov(x, g.acc) // dead redefinition: def weight without use weight
+	bu.Mov(x, g.acc)
+	fillers := make([]ir.Reg, width)
+	for i := range fillers {
+		c := bu.Const(int64(i*13 + 7))
+		fillers[i] = bu.Bin(ir.OpAdd, g.acc, c)
+	}
+	lib := g.index
+	if lib > libProcs {
+		lib = libProcs
+	}
+	callee := "p" + itoa(g.rng.intn(lib))
+	r := bu.F.NewVirt()
+	bu.Call(r, callee, g.acc)
+	bu.BinInto(ir.OpAdd, g.acc, r, x)
+	bu.BinInto(ir.OpAdd, g.acc, g.acc, y)
+	bu.BinInto(ir.OpXor, g.acc, g.acc, y)
+	bu.BinInto(ir.OpSub, g.acc, g.acc, y)
+	for _, fv := range fillers {
+		bu.BinInto(ir.OpAdd, g.acc, g.acc, fv)
+		bu.BinInto(ir.OpXor, g.acc, g.acc, fv)
+		bu.BinInto(ir.OpSub, g.acc, g.acc, fv)
+		bu.BinInto(ir.OpAdd, g.acc, g.acc, fv)
+	}
+}
+
+// genColdDiamondLoop emits a hot counted loop whose body is almost
+// entirely a cold-guarded depth-two diamond holding a live-across-call
+// web, with the hot path falling straight through to the back edge.
+// The callee-saved save/restore wants to sink into the cold region,
+// but doing so trades jump blocks on the diamond's edges against
+// memory traffic on the hot back edge — which side wins depends on
+// the preset's jump-to-memory cost ratio.
+func (g *gen) genColdDiamondLoop() {
+	bu := g.bu
+	trip := int64(8 + g.rng.intn(9))
+	iv := bu.F.NewVirt()
+	bu.ConstInto(iv, 0)
+	header := g.block("xh")
+	exit := g.block("xx")
+	bu.Jmp(header, 0)
+	bu.SetCurrent(header)
+	g.inLoop++
+	c := g.condition(20) // cold guard: taken ~8% of iterations
+	coldB := g.block("xc")
+	joinB := g.block("xj")
+	bu.Br(c, coldB, joinB, 0, 0)
+	bu.SetCurrent(coldB)
+	c2 := g.condition(128)
+	leftB := g.block("xl")
+	rightB := g.block("xr")
+	innerJ := g.block("xm")
+	bu.Br(c2, leftB, rightB, 0, 0)
+	bu.SetCurrent(leftB)
+	g.callWithLiveWeb()
+	bu.Jmp(innerJ, 0)
+	bu.SetCurrent(rightB)
+	g.genStraight()
+	bu.Jmp(innerJ, 0)
+	bu.SetCurrent(innerJ)
+	bu.Jmp(joinB, 0)
+	bu.SetCurrent(joinB)
+	g.genStraight()
+	one := bu.Const(1)
+	bu.BinInto(ir.OpAdd, iv, iv, one)
+	tr := bu.Const(trip)
+	c3 := bu.Bin(ir.OpCmpLT, iv, tr)
+	bu.Br(c3, header, exit, 0, 0)
+	g.inLoop--
+	bu.SetCurrent(exit)
+	bu.BinInto(ir.OpAdd, g.acc, g.acc, iv)
+}
+
+// genFallSplitNest emits a two-deep loop nest whose inner body skips
+// over its call-carrying work block to the latch on a cold condition.
+// The skip makes the condition-to-latch edge a critical jump edge and
+// the work-to-latch edge the hot fall-through: a placement that
+// shields the work block's callee-saved web must either pay a jump
+// block on the cold skip edge or split the hot fall-through, so
+// presets that price jumps differently choose different placements.
+func (g *gen) genFallSplitNest() {
+	bu := g.bu
+	oiv := bu.F.NewVirt()
+	bu.ConstInto(oiv, 0)
+	outerH := g.block("fo")
+	outerX := g.block("fq")
+	bu.Jmp(outerH, 0)
+	bu.SetCurrent(outerH)
+	g.inLoop++
+	iiv := bu.F.NewVirt()
+	bu.ConstInto(iiv, 0)
+	innerH := g.block("fi")
+	workB := g.block("fw")
+	latchB := g.block("fl")
+	innerX := g.block("fx")
+	bu.Jmp(innerH, 0)
+	bu.SetCurrent(innerH)
+	g.inLoop++
+	c := g.condition(64) // cold skip: ~25% of iterations jump the work
+	bu.Br(c, latchB, workB, 0, 0)
+	bu.SetCurrent(workB)
+	g.callWithLiveWeb()
+	bu.Jmp(latchB, 0)
+	bu.SetCurrent(latchB)
+	one := bu.Const(1)
+	bu.BinInto(ir.OpAdd, iiv, iiv, one)
+	tr := bu.Const(int64(4 + g.rng.intn(5)))
+	c2 := bu.Bin(ir.OpCmpLT, iiv, tr)
+	bu.Br(c2, innerH, innerX, 0, 0)
+	g.inLoop--
+	bu.SetCurrent(innerX)
+	bu.BinInto(ir.OpAdd, g.acc, g.acc, iiv)
+	oneO := bu.Const(1)
+	bu.BinInto(ir.OpAdd, oiv, oiv, oneO)
+	trO := bu.Const(int64(2 + g.rng.intn(2)))
+	c3 := bu.Bin(ir.OpCmpLT, oiv, trO)
+	bu.Br(c3, outerH, outerX, 0, 0)
+	g.inLoop--
+	bu.SetCurrent(outerX)
+	bu.BinInto(ir.OpXor, g.acc, g.acc, oiv)
+}

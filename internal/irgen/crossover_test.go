@@ -1,0 +1,94 @@
+package irgen
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/irtext"
+)
+
+// TestCrossoverOracleCleanSweep: the crossover family must pass the
+// differential oracle — every strategy, every machine preset,
+// model-vs-measured exactness — on a seed sweep. The oracle allocates
+// uniformly (the paper's mode), so this also pins that the new
+// generator shapes are semantically sound independent of machine
+// pricing.
+func TestCrossoverOracleCleanSweep(t *testing.T) {
+	const n = 40
+	interesting := 0
+	for seed := uint64(0); seed < n; seed++ {
+		prog := Generate(seed, Crossover())
+		r := Check(prog, Options{Args: []int64{int64(seed % 7)}})
+		if r.Failed() {
+			t.Fatalf("seed %d: %d violations, first: %v", seed, len(r.Violations), r.Violations[0])
+		}
+		if r.CalleeSavedFuncs > 0 {
+			interesting++
+		}
+	}
+	if interesting < n/3 {
+		t.Errorf("only %d/%d crossover seeds exercised callee-saved placement; family too tame", interesting, n)
+	}
+}
+
+// TestCrossoverShapesAppear: across a seed range, each engineered
+// scenario family must actually be emitted — the pressure plateau's
+// dead redefinitions, the cold diamond's blocks, and the
+// fall-through-split nest's blocks are all recognizable in the
+// canonical text.
+func TestCrossoverShapesAppear(t *testing.T) {
+	var pressure, diamond, fallsplit int
+	for seed := uint64(0); seed < 40; seed++ {
+		text := irtext.Print(Generate(seed, Crossover()))
+		// The diamond and nest announce themselves through their block
+		// label prefixes; the pressure plateau through its unique
+		// three-Mov dead-redefinition run (two consecutive movs to the
+		// same register only occur there).
+		if strings.Contains(text, "xc") && strings.Contains(text, "xm") {
+			diamond++
+		}
+		if strings.Contains(text, "fw") && strings.Contains(text, "fl") {
+			fallsplit++
+		}
+		if hasDeadRedefRun(text) {
+			pressure++
+		}
+	}
+	if pressure == 0 || diamond == 0 || fallsplit == 0 {
+		t.Fatalf("scenario families missing across 40 seeds: pressure=%d diamond=%d fallsplit=%d",
+			pressure, diamond, fallsplit)
+	}
+}
+
+// hasDeadRedefRun reports whether two consecutive lines are identical
+// mov instructions — the pressure plateau's dead-redefinition
+// signature.
+func hasDeadRedefRun(text string) bool {
+	lines := strings.Split(text, "\n")
+	for i := 1; i < len(lines); i++ {
+		cur := strings.TrimSpace(lines[i])
+		if cur != "" && strings.Contains(cur, "= mov ") && cur == strings.TrimSpace(lines[i-1]) {
+			return true
+		}
+	}
+	return false
+}
+
+// TestCrossoverDefaultSeedsUnchanged: the Config fields backing the
+// crossover shapes default to zero probability, and a zero-probability
+// branch must draw no randomness — Default() programs are
+// byte-identical to what they were before the family existed, keeping
+// every committed benchmark record valid.
+func TestCrossoverDefaultSeedsUnchanged(t *testing.T) {
+	cfg := Default()
+	if cfg.PressureProb != 0 || cfg.ColdDiamondProb != 0 || cfg.FallSplitProb != 0 {
+		t.Fatalf("Default() enables crossover shapes: %+v", cfg)
+	}
+	for seed := uint64(0); seed < 10; seed++ {
+		a := irtext.Print(Generate(seed, Default()))
+		b := irtext.Print(Generate(seed, Default()))
+		if a != b {
+			t.Fatalf("seed %d: Default() generation is not deterministic", seed)
+		}
+	}
+}

@@ -87,6 +87,25 @@ type Config struct {
 	SkewedLoopProb float64
 	SkewedTrip     int64
 	DataTripProb   float64
+
+	// Crossover shapes (see crossover.go; all default off, same
+	// zero-probability-draws-nothing guarantee as the hostile knobs).
+	//
+	// PressureProb emits a register-pressure plateau across a call:
+	// PressureWidth filler webs plus two equal-uniform-cost candidates
+	// with mirrored def/use mixes, so which web the allocator spills
+	// depends on the machine's store:load latency ratio.
+	// ColdDiamondProb emits a hot loop whose body holds a deep cold
+	// diamond with a live-across-call web feeding the hot back edge;
+	// FallSplitProb emits a loop nest with a cold early-skip to the
+	// latch, so the profitable save/restore placement splits a
+	// fall-through edge. Together these are the scenario families on
+	// which machine presets disagree about the winning strategy or
+	// allocation mode.
+	PressureProb    float64
+	PressureWidth   int
+	ColdDiamondProb float64
+	FallSplitProb   float64
 }
 
 // Default is the spillfuzz sweep configuration: large enough to hit
@@ -269,6 +288,15 @@ func (g *gen) genStructure(depth int) {
 			return
 		case g.cfg.DataTripProb > 0 && g.rng.float() < g.cfg.DataTripProb:
 			g.genDataLoop()
+			return
+		case g.cfg.PressureProb > 0 && g.rng.float() < g.cfg.PressureProb:
+			g.genPressure()
+			return
+		case g.cfg.ColdDiamondProb > 0 && g.rng.float() < g.cfg.ColdDiamondProb:
+			g.genColdDiamondLoop()
+			return
+		case g.cfg.FallSplitProb > 0 && g.rng.float() < g.cfg.FallSplitProb:
+			g.genFallSplitNest()
 			return
 		}
 	}

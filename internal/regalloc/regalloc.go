@@ -10,6 +10,22 @@
 // that is the post register allocation spill code placement problem
 // the rest of the repository studies. The allocator records which
 // callee-saved registers an allocation writes in Func.UsedCalleeSaved.
+//
+// Spill candidates are ranked by a cost/degree heuristic. The cost is
+// uniform by default — every def and use occurrence weighs its block's
+// execution count, as if spill stores and loads had equal latency —
+// which reproduces the paper's allocator. Options.MachineCosts instead
+// prices each candidate with the machine's cost surface: spilling a
+// web executes one store per def and one load per use, so the priced
+// cost is defWeight*StoreCost + useWeight*LoadCost (dual-issue
+// discount included). The jump/split penalties of the machine never
+// enter this ranking because allocator spill code is always inserted
+// inside blocks, adjacent to the def or use it serves — it can never
+// force a jump block or split a critical edge; those penalties belong
+// to the callee-saved placement layer, whose jump-edge model prices
+// them. On a unit-cost machine (the classic preset) the priced cost
+// equals the uniform cost integer for integer, so classic machine
+// pricing is byte-identical to the default allocator.
 package regalloc
 
 import (
@@ -27,10 +43,49 @@ type Result struct {
 	// Spilled lists virtual registers sent to stack slots, in the
 	// order they were spilled.
 	Spilled []ir.Reg
+	// SpillWebs records the profile-weighted def/use shape of each
+	// spilled web at the moment it was chosen, parallel to Spilled.
+	// Spilling a web costs one store per weighted def and one load
+	// per weighted use, so any machine's spill bill for this
+	// allocation is sum(DefWeight*StoreCost + UseWeight*LoadCost).
+	SpillWebs []SpillWeb
 	// Iterations is the number of build-color rounds.
 	Iterations int
 	// UsedCalleeSaved mirrors Func.UsedCalleeSaved.
 	UsedCalleeSaved []ir.Reg
+}
+
+// SpillWeb is the profile-weighted footprint of one spilled web.
+type SpillWeb struct {
+	Reg       ir.Reg
+	DefWeight int64 // sum of block exec counts over the web's defs
+	UseWeight int64 // sum of block exec counts over the web's uses
+}
+
+// Options tweaks the allocator's spill-choice heuristic.
+type Options struct {
+	// MachineCosts prices spill candidates with the machine's cost
+	// surface (StoreCost per weighted def, LoadCost per weighted use)
+	// instead of uniform unit weights. On a unit-cost machine this is
+	// byte-identical to the uniform heuristic.
+	MachineCosts bool
+}
+
+// pricer turns a node's weighted def/use counts into a spill cost.
+// The uniform pricer (1,1) reproduces the classic def+use count.
+type pricer struct {
+	store, load int64
+}
+
+func newPricer(m *machine.Desc, opts Options) pricer {
+	if opts.MachineCosts {
+		return pricer{store: m.Costs.StoreCost(), load: m.Costs.LoadCost()}
+	}
+	return pricer{store: 1, load: 1}
+}
+
+func (p pricer) of(n *node) int64 {
+	return n.defCost*p.store + n.useCost*p.load
 }
 
 // maxRounds bounds spill-and-retry iteration; each round strictly
@@ -47,10 +102,16 @@ func AllocateProgram(p *ir.Program, m *machine.Desc) (map[string]*Result, error)
 // only its own *ir.Func — so the result is identical to the serial
 // path for any parallelism (<= 0 means GOMAXPROCS).
 func AllocateProgramParallel(p *ir.Program, m *machine.Desc, parallelism int) (map[string]*Result, error) {
+	return AllocateProgramOpts(p, m, parallelism, Options{})
+}
+
+// AllocateProgramOpts is AllocateProgramParallel with explicit
+// allocator options.
+func AllocateProgramOpts(p *ir.Program, m *machine.Desc, parallelism int, opts Options) (map[string]*Result, error) {
 	funcs := p.FuncsInOrder()
 	results := make([]*Result, len(funcs))
 	err := par.Do(len(funcs), parallelism, func(i int) error {
-		r, err := Allocate(funcs[i], m)
+		r, err := AllocateOpts(funcs[i], m, opts)
 		if err != nil {
 			return err
 		}
@@ -70,6 +131,11 @@ func AllocateProgramParallel(p *ir.Program, m *machine.Desc, parallelism int) (m
 // Allocate rewrites f in place, replacing every virtual register with
 // a physical register and inserting spill code where needed.
 func Allocate(f *ir.Func, m *machine.Desc) (*Result, error) {
+	return AllocateOpts(f, m, Options{})
+}
+
+// AllocateOpts is Allocate with explicit allocator options.
+func AllocateOpts(f *ir.Func, m *machine.Desc, opts Options) (*Result, error) {
 	if len(f.Params) > len(m.ArgRegs) {
 		return nil, fmt.Errorf("regalloc: %s has %d params, machine passes at most %d",
 			f.Name, len(f.Params), len(m.ArgRegs))
@@ -84,13 +150,14 @@ func Allocate(f *ir.Func, m *machine.Desc) (*Result, error) {
 		precolor[p] = m.ArgRegs[i]
 	}
 
+	pr := newPricer(m, opts)
 	for round := 0; ; round++ {
 		if round >= maxRounds {
 			return nil, fmt.Errorf("regalloc: %s did not converge after %d rounds", f.Name, maxRounds)
 		}
 		res.Iterations++
 		g := buildGraph(f, m, precolor)
-		colors, spills := color(g, m, noSpill)
+		colors, spills := color(g, m, noSpill, pr)
 		if len(spills) == 0 {
 			rewrite(f, colors)
 			res.UsedCalleeSaved = recordUsedCalleeSaved(f, m)
@@ -98,7 +165,9 @@ func Allocate(f *ir.Func, m *machine.Desc) (*Result, error) {
 			return res, nil
 		}
 		for _, v := range spills {
+			n := g.nodes[v]
 			res.Spilled = append(res.Spilled, v)
+			res.SpillWebs = append(res.SpillWebs, SpillWeb{Reg: v, DefWeight: n.defCost, UseWeight: n.useCost})
 			insertSpillCode(f, v, noSpill)
 		}
 	}
@@ -144,7 +213,8 @@ type node struct {
 	reg      ir.Reg
 	adj      map[ir.Reg]bool
 	degree   int
-	cost     int64 // profile-weighted def+use count
+	defCost  int64 // profile-weighted def count
+	useCost  int64 // profile-weighted use count
 	crossing bool  // live across a call: callee-saved only
 	forbid   map[ir.Reg]bool
 	pre      ir.Reg // precolored register or NoReg
@@ -194,11 +264,11 @@ func buildGraph(f *ir.Func, m *machine.Desc, precolor map[ir.Reg]ir.Reg) *graph 
 		}
 		for _, in := range b.Instrs {
 			if d := in.Def(); d.IsVirt() {
-				g.node(d).cost += w
+				g.node(d).defCost += w
 			}
 			for _, u := range in.Uses(buf[:0]) {
 				if u.IsVirt() {
-					g.node(u).cost += w
+					g.node(u).useCost += w
 				}
 			}
 			buf = buf[:0]
@@ -271,7 +341,7 @@ func allowedCount(n *node, m *machine.Desc) int {
 // color runs simplify/select with optimistic coloring. It returns the
 // chosen colors, or the virtual registers to spill when coloring
 // failed.
-func color(g *graph, m *machine.Desc, noSpill map[ir.Reg]bool) (map[ir.Reg]ir.Reg, []ir.Reg) {
+func color(g *graph, m *machine.Desc, noSpill map[ir.Reg]bool, pr pricer) (map[ir.Reg]ir.Reg, []ir.Reg) {
 	// Simplify: repeatedly remove a node with degree < allowed; if
 	// none qualifies, optimistically remove the cheapest (potential
 	// spill).
@@ -321,7 +391,7 @@ func color(g *graph, m *machine.Desc, noSpill map[ir.Reg]bool) (map[ir.Reg]ir.Re
 			if d == 0 {
 				d = 1
 			}
-			score := float64(n.cost) / float64(d)
+			score := float64(pr.of(n)) / float64(d)
 			if best == ir.NoReg || score < bestScore {
 				best, bestScore = r, score
 			}
@@ -357,7 +427,7 @@ func color(g *graph, m *machine.Desc, noSpill map[ir.Reg]bool) (map[ir.Reg]ir.Re
 			if inUse[n.pre] {
 				// A precolored conflict means a neighbor must spill,
 				// not the precolored node.
-				spills = append(spills, pickNeighborSpill(g, n, colors, noSpill))
+				spills = append(spills, pickNeighborSpill(g, n, noSpill, pr))
 				continue
 			}
 			choice = n.pre
@@ -396,7 +466,7 @@ func color(g *graph, m *machine.Desc, noSpill map[ir.Reg]bool) (map[ir.Reg]ir.Re
 
 // pickNeighborSpill selects the cheapest already-colored or pending
 // neighbor of a precolored node to spill.
-func pickNeighborSpill(g *graph, n *node, colors map[ir.Reg]ir.Reg, noSpill map[ir.Reg]bool) ir.Reg {
+func pickNeighborSpill(g *graph, n *node, noSpill map[ir.Reg]bool, pr pricer) ir.Reg {
 	var best ir.Reg = ir.NoReg
 	var bestCost int64
 	for a := range n.adj {
@@ -404,8 +474,8 @@ func pickNeighborSpill(g *graph, n *node, colors map[ir.Reg]ir.Reg, noSpill map[
 		if na.pre != ir.NoReg || noSpill[a] {
 			continue
 		}
-		if best == ir.NoReg || na.cost < bestCost {
-			best, bestCost = a, na.cost
+		if c := pr.of(na); best == ir.NoReg || c < bestCost {
+			best, bestCost = a, c
 		}
 	}
 	if best == ir.NoReg {

@@ -23,6 +23,8 @@ func programKey(canonical string, req *PlaceRequest) string {
 	h.Write([]byte{0})
 	io.WriteString(h, req.Strategy)
 	h.Write([]byte{0})
+	io.WriteString(h, req.Alloc)
+	h.Write([]byte{0})
 	var buf [8]byte
 	for _, a := range req.Args {
 		binary.LittleEndian.PutUint64(buf[:], uint64(a))
@@ -61,10 +63,13 @@ func funcHash(f *ir.Func) string {
 }
 
 // funcKey is the function-level content-cache key: placement is a
-// deterministic function of (profiled body, machine preset, strategy),
-// so identical triples can reuse one FunctionEntry across programs.
+// deterministic function of (profiled body, machine preset, strategy,
+// allocation mode), so identical tuples can reuse one FunctionEntry
+// across programs. The allocation mode is part of the key because it
+// changes which webs spill before placement ever runs.
 type funcKey struct {
 	hash     string
 	machine  string
 	strategy string
+	alloc    string
 }

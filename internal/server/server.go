@@ -106,6 +106,12 @@ type PlaceRequest struct {
 	// or "best": price every strategy's placement per function and
 	// apply the cheapest overall.
 	Strategy string `json:"strategy,omitempty"`
+	// Alloc names the allocation spill-pricing mode (default "uniform",
+	// the paper's unit-weight spill costs; "machine" prices each spill
+	// candidate by the preset's store/load latencies). Allocation shapes
+	// every placement downstream, so the mode is part of both cache
+	// keys.
+	Alloc string `json:"alloc,omitempty"`
 	// Args are the profiling (and, with Run, execution) arguments.
 	Args []int64 `json:"args,omitempty"`
 	// Run additionally executes the placed program and reports the
@@ -279,6 +285,13 @@ func (s *Server) place(req *PlaceRequest) placeOutcome {
 	if req.Strategy == "" {
 		req.Strategy = "hierarchical-jump"
 	}
+	if req.Alloc == "" {
+		req.Alloc = "uniform"
+	}
+	allocMachine, err := spillopt.ParseAllocMode(req.Alloc)
+	if err != nil {
+		return fail(http.StatusBadRequest, err)
+	}
 	// Tiering is an execution-time optimization: it implies Run, and
 	// the normalization happens before cache keying so {tier} and
 	// {tier, run} alias one entry.
@@ -332,6 +345,12 @@ func (s *Server) place(req *PlaceRequest) placeOutcome {
 	}
 	if err := prog.UseMachine(req.Machine); err != nil {
 		return fail(http.StatusBadRequest, err)
+	}
+	if allocMachine {
+		// Validated above, so a failure here is ordering, not input.
+		if err := prog.UseMachineAllocation(); err != nil {
+			return fail(http.StatusInternalServerError, err)
+		}
 	}
 
 	// Canonical tier: keyed on the re-printed text, so formatting
@@ -452,7 +471,7 @@ func (s *Server) place(req *PlaceRequest) placeOutcome {
 	}
 	if cacheable {
 		for i := range entries {
-			s.funcCache.Put(funcKey{hashes[i], req.Machine, req.Strategy}, entries[i], entrySize(&entries[i]))
+			s.funcCache.Put(funcKey{hashes[i], req.Machine, req.Strategy, req.Alloc}, entries[i], entrySize(&entries[i]))
 		}
 	}
 	s.putProgram(pkey, rawKey, body)
@@ -512,7 +531,7 @@ func (s *Server) pickBest(prog *spillopt.Program) (string, map[string]int64, err
 func (s *Server) lookupFunctions(hashes []string, req *PlaceRequest) ([]FunctionEntry, bool) {
 	entries := make([]FunctionEntry, len(hashes))
 	for i, h := range hashes {
-		e, ok := s.funcCache.Get(funcKey{hash: h, machine: req.Machine, strategy: req.Strategy})
+		e, ok := s.funcCache.Get(funcKey{hash: h, machine: req.Machine, strategy: req.Strategy, alloc: req.Alloc})
 		if !ok {
 			return nil, false
 		}

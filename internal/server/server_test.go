@@ -590,3 +590,68 @@ func TestPlaceEngines(t *testing.T) {
 		}
 	}
 }
+
+// TestAllocOption: the alloc option selects machine-priced allocation,
+// is validated before any cache work, and is part of the cache key —
+// uniform and machine responses for one program never alias, while the
+// default and an explicit "uniform" share one entry.
+func TestAllocOption(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	src := testProgram(7)
+
+	resp, body := post(t, ts, PlaceRequest{IR: src, Alloc: "bogus", Args: []int64{5}})
+	if resp.StatusCode != http.StatusBadRequest || !strings.Contains(string(body), "unknown alloc mode") {
+		t.Fatalf("unknown alloc mode: status %d body %s", resp.StatusCode, body)
+	}
+
+	resp1, body1 := post(t, ts, PlaceRequest{IR: src, Args: []int64{5}})
+	if resp1.StatusCode != http.StatusOK {
+		t.Fatalf("default alloc: status %d: %s", resp1.StatusCode, body1)
+	}
+	// An explicit "uniform" is the default spelled out: same cache
+	// entry, same bytes.
+	resp2, body2 := post(t, ts, PlaceRequest{IR: src, Alloc: "uniform", Args: []int64{5}})
+	if c := resp2.Header.Get("X-Cache"); c != cacheProgram {
+		t.Errorf("explicit uniform X-Cache = %q, want %q", c, cacheProgram)
+	}
+	if !bytes.Equal(body1, body2) {
+		t.Errorf("explicit uniform response differs from default")
+	}
+
+	// Machine mode is a distinct key: a fresh pipeline run, then a hit
+	// on resubmission, and still the same computed placement totals for
+	// this spill-free program family or not — the response just has to
+	// be deterministic.
+	resp3, body3 := post(t, ts, PlaceRequest{IR: src, Alloc: "machine", Args: []int64{5}})
+	if resp3.StatusCode != http.StatusOK {
+		t.Fatalf("machine alloc: status %d: %s", resp3.StatusCode, body3)
+	}
+	if c := resp3.Header.Get("X-Cache"); c != cacheMiss {
+		t.Errorf("first machine-alloc submission X-Cache = %q, want %q", c, cacheMiss)
+	}
+	resp4, body4 := post(t, ts, PlaceRequest{IR: src, Alloc: "machine", Args: []int64{5}})
+	if c := resp4.Header.Get("X-Cache"); c != cacheProgram {
+		t.Errorf("machine-alloc resubmission X-Cache = %q, want %q", c, cacheProgram)
+	}
+	if !bytes.Equal(body3, body4) {
+		t.Errorf("machine-alloc resubmission differs")
+	}
+
+	// Run mode: machine-priced allocation may move spill code but must
+	// never change the computed value.
+	var uni, mach PlaceResponse
+	ru, bu := post(t, ts, PlaceRequest{IR: src, Args: []int64{5}, Run: true})
+	rm, bm := post(t, ts, PlaceRequest{IR: src, Alloc: "machine", Args: []int64{5}, Run: true})
+	if ru.StatusCode != http.StatusOK || rm.StatusCode != http.StatusOK {
+		t.Fatalf("run statuses %d/%d: %s %s", ru.StatusCode, rm.StatusCode, bu, bm)
+	}
+	if err := json.Unmarshal(bu, &uni); err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal(bm, &mach); err != nil {
+		t.Fatal(err)
+	}
+	if uni.Run == nil || mach.Run == nil || uni.Run.Value != mach.Run.Value {
+		t.Errorf("machine alloc changed the computed value: %+v vs %+v", uni.Run, mach.Run)
+	}
+}

@@ -1,0 +1,95 @@
+package spillopt
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestParseAllocMode: the alloc-mode names every surface (CLI flags,
+// the server's alloc option) resolves through.
+func TestParseAllocMode(t *testing.T) {
+	for _, name := range []string{"", "uniform"} {
+		mach, err := ParseAllocMode(name)
+		if err != nil || mach {
+			t.Errorf("ParseAllocMode(%q) = %v, %v; want uniform", name, mach, err)
+		}
+	}
+	mach, err := ParseAllocMode("machine")
+	if err != nil || !mach {
+		t.Errorf("ParseAllocMode(machine) = %v, %v; want machine", mach, err)
+	}
+	if _, err := ParseAllocMode("bogus"); err == nil || !strings.Contains(err.Error(), "uniform") {
+		t.Errorf("ParseAllocMode(bogus) = %v, want an error listing the modes", err)
+	}
+	if len(AllocModes()) != 2 {
+		t.Errorf("AllocModes() = %v, want uniform and machine", AllocModes())
+	}
+}
+
+// TestUseMachineAllocation: the mode must be requested before
+// Allocate, the classic preset reproduces the uniform allocation byte
+// for byte, and machine pricing on a skewed preset never changes the
+// computed result.
+func TestUseMachineAllocation(t *testing.T) {
+	run := func(mach string, machineAlloc bool) (*Result, string) {
+		t.Helper()
+		p, err := ParseProgram(demoSrc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if mach != "" {
+			if err := p.UseMachine(mach); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if machineAlloc {
+			if err := p.UseMachineAllocation(); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := p.Profile(100); err != nil {
+			t.Fatal(err)
+		}
+		if err := p.Allocate(); err != nil {
+			t.Fatal(err)
+		}
+		text := p.Text()
+		if err := p.Place(HierarchicalJump); err != nil {
+			t.Fatal(err)
+		}
+		res, err := p.Run(100)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res, text
+	}
+
+	uni, uniText := run("classic", false)
+	mach, machText := run("classic", true)
+	if machText != uniText {
+		t.Errorf("classic machine-priced allocation changed the program text")
+	}
+	if mach.Value != uni.Value || mach.Overhead != uni.Overhead {
+		t.Errorf("classic machine alloc: value/overhead %d/%d, want %d/%d",
+			mach.Value, mach.Overhead, uni.Value, uni.Overhead)
+	}
+	deep, _ := run("deep-pipeline", true)
+	if deep.Value != uni.Value {
+		t.Errorf("deep-pipeline machine alloc computes %d, want %d", deep.Value, uni.Value)
+	}
+
+	// Ordering: the mode shapes Allocate, so it cannot arrive after it.
+	p, err := ParseProgram(demoSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Profile(100); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Allocate(); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.UseMachineAllocation(); err == nil || !strings.Contains(err.Error(), "before Allocate") {
+		t.Errorf("UseMachineAllocation after Allocate: err = %v, want ordering error", err)
+	}
+}

@@ -168,6 +168,10 @@ type Program struct {
 	useLayout bool
 	aligned   bool
 
+	// allocMachine prices the allocator's spill choices with the
+	// machine's cost surface (UseMachineAllocation).
+	allocMachine bool
+
 	profiled  bool
 	allocated bool
 	placed    bool
@@ -224,6 +228,38 @@ func (p *Program) UseMachine(name string) error {
 		return err
 	}
 	p.mach = d
+	return nil
+}
+
+// AllocModes lists the allocation modes the alloc option accepts:
+// "uniform" is the paper's def+use-count spill heuristic, "machine"
+// prices spill candidates with the machine's cost surface.
+func AllocModes() []string { return []string{"uniform", "machine"} }
+
+// ParseAllocMode resolves an allocation mode name ("" defaults to
+// uniform) to whether machine-priced allocation is requested.
+func ParseAllocMode(name string) (bool, error) {
+	switch name {
+	case "", "uniform":
+		return false, nil
+	case "machine":
+		return true, nil
+	}
+	return false, fmt.Errorf("spillopt: unknown alloc mode %q (have %s)", name, strings.Join(AllocModes(), ", "))
+}
+
+// UseMachineAllocation makes Allocate price each spill candidate with
+// the machine's cost surface — StoreCost per profile-weighted def,
+// LoadCost per profile-weighted use — instead of the uniform
+// def+use count. On the classic (unit-cost) preset the result is
+// byte-identical to the uniform allocator; presets whose store and
+// load latencies differ may spill different webs. Like UseMachine it
+// must be called before Allocate.
+func (p *Program) UseMachineAllocation() error {
+	if p.allocated {
+		return fmt.Errorf("spillopt: UseMachineAllocation must run before Allocate")
+	}
+	p.allocMachine = true
 	return nil
 }
 
@@ -304,7 +340,7 @@ func (p *Program) Allocate() error {
 	if p.tiering && !p.profiled {
 		profile.EstimateProgramMachine(p.prog, p.mach, p.cache)
 	}
-	if _, err := regalloc.AllocateProgramParallel(p.prog, p.mach, p.Parallelism); err != nil {
+	if _, err := regalloc.AllocateProgramOpts(p.prog, p.mach, p.Parallelism, regalloc.Options{MachineCosts: p.allocMachine}); err != nil {
 		return err
 	}
 	// Allocation rewrote instructions (spill code, physical registers),
@@ -712,6 +748,7 @@ func (p *Program) Clone() *Program {
 		tierPending:  p.tierPending,
 		useLayout:    p.useLayout,
 		aligned:      p.aligned,
+		allocMachine: p.allocMachine,
 		profiled:     p.profiled,
 		allocated:    p.allocated,
 		placed:       p.placed,
